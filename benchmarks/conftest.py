@@ -1,0 +1,5 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper figure/table at the active scale
+(``REPRO_SCALE`` = quick | full) and asserts the paper's qualitative shape.
+"""

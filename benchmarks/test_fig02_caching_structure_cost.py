@@ -1,0 +1,24 @@
+"""Figure 2: the cost of maintaining caching data structures on DM."""
+
+from repro.bench.experiments import fig02_caching_structure_cost as exp
+
+
+def test_fig02(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    single = result["single_client"]
+    multi = result["multi_client"]
+    counts = result["client_counts"]
+    top = counts[-1]
+
+    # (a) single client: list maintenance costs throughput and tail latency.
+    assert single["kvs"]["mops"] > 2 * single["kvc"]["mops"]
+    assert single["kvc"]["p99_us"] > 2 * single["kvs"]["p99_us"]
+
+    # (b) many clients: KVC collapses under lock contention, KVC-S holds up
+    # better, KVS scales far above both.
+    assert multi["kvs"][top] > 4 * multi["kvc"][top]
+    assert multi["kvs"][top] > 2 * multi["kvc-s"][top]
+    assert multi["kvc-s"][top] > multi["kvc"][top]
+    # KVC does not scale beyond moderate client counts.
+    mid = counts[len(counts) // 2]
+    assert multi["kvc"][top] < multi["kvc"][mid] * 2

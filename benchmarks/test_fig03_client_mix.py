@@ -1,0 +1,18 @@
+"""Figure 3: hit rate vs compute split between LRU-/LFU-friendly apps."""
+
+from repro.bench.experiments import fig03_client_mix as exp
+
+
+def test_fig03(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    all_lfu = rows[0]   # all threads on the LFU-friendly application
+    all_lru = rows[-1]  # all threads on the LRU-friendly application
+
+    # The winning fixed algorithm flips with the thread split.
+    assert all_lfu["ditto-lfu"] > all_lfu["ditto-lru"]
+    assert all_lru["ditto-lru"] > all_lru["ditto-lfu"]
+
+    # Ditto never falls materially below the worse expert, at either extreme.
+    for row in (all_lfu, all_lru):
+        assert row["ditto"] >= min(row["ditto-lru"], row["ditto-lfu"]) - 0.02

@@ -1,0 +1,15 @@
+"""Figure 4: the LRU/LFU winner depends on cache size."""
+
+from repro.bench.experiments import fig04_cache_size as exp
+
+
+def test_fig04(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    winners = {"lru" if r["lru"] >= r["lfu"] else "lfu" for r in rows}
+    # The best fixed algorithm changes across cache sizes.
+    assert winners == {"lru", "lfu"}
+    # Hit rates are monotone non-decreasing in cache size (sanity).
+    for policy in ("lru", "lfu"):
+        values = [r[policy] for r in rows]
+        assert all(b >= a - 0.03 for a, b in zip(values, values[1:]))

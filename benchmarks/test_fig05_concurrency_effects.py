@@ -1,0 +1,19 @@
+"""Figure 5: concurrency changes access patterns and hit rates."""
+
+import numpy as np
+
+from repro.bench.experiments import fig05_concurrency_effects as exp
+
+
+def test_fig05(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    lru_changes = result["cdf"]["lru"]
+    lfu_changes = result["cdf"]["lfu"]
+
+    # Concurrency moves hit rates for a substantial share of workloads, and
+    # LRU is more sensitive to it than LFU (paper: 60% vs 21% change).
+    assert float(np.median(lru_changes)) > 0.0
+    assert float(np.mean(lru_changes)) > float(np.mean(lfu_changes))
+
+    # The best algorithm flips with the client count on some workloads.
+    assert result["best_flip_fraction"] > 0.0

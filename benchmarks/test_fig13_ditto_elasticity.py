@@ -1,0 +1,29 @@
+"""Figure 13: Ditto under dynamic compute and memory scaling."""
+
+from repro.bench.experiments import fig13_ditto_elasticity as exp
+from repro.bench.experiments.fig13_ditto_elasticity import phase_mean
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    timeline = result["timeline"]
+
+    base = phase_mean(timeline, "base-compute")
+    up = phase_mean(timeline, "compute-scaled-up")
+    down = phase_mean(timeline, "compute-scaled-down")
+    mem_up = phase_mean(timeline, "memory-scaled-up")
+    mem_down = phase_mean(timeline, "memory-scaled-down")
+
+    # Compute scaling takes effect immediately (no migration): throughput
+    # jumps with the added clients and returns when they leave.
+    assert up > base * 1.3
+    assert abs(down - base) / base < 0.25
+
+    # Memory scaling does not disturb throughput (no data movement).
+    assert abs(mem_up - down) / down < 0.2
+    assert abs(mem_down - down) / down < 0.2
+
+    # The very first window after scale-up already shows the gain —
+    # "immediate", unlike Redis' minutes of migration.
+    first_up = next(r for r in timeline if r["phase"] == "compute-scaled-up")
+    assert first_up["mops"] > base * 1.2

@@ -1,0 +1,26 @@
+"""Figure 14: YCSB throughput/p99 of Ditto vs Shard-LRU vs CliqueMap."""
+
+from repro.bench.experiments import fig14_ycsb_scaling as exp
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    counts = result["client_counts"]
+    top = counts[-1]
+
+    for workload, by_system in result["results"].items():
+        ditto = by_system["ditto"][top]["mops"]
+        # Ditto clearly outperforms every baseline at scale (paper: up to 9x).
+        for baseline in ("shard-lru", "cm-lru", "cm-lfu"):
+            assert ditto > 2 * by_system[baseline][top]["mops"], (
+                f"{workload}: ditto {ditto} vs {baseline} "
+                f"{by_system[baseline][top]['mops']}"
+            )
+        # Ditto throughput grows with client count until NIC-bound.
+        assert by_system["ditto"][top]["mops"] > by_system["ditto"][counts[0]]["mops"]
+
+    # Single-client write-heavy A: CliqueMap's 1-RTT Sets beat Ditto's 3 RTTs
+    # (the paper's one exception).
+    a = result["results"].get("A")
+    if a is not None:
+        assert a["cm-lru"][counts[0]]["mops"] >= a["ditto"][counts[0]]["mops"] * 0.8

@@ -1,0 +1,22 @@
+"""Figure 15: throughput vs MN-side CPU cores."""
+
+from repro.bench.experiments import fig15_mn_cpu_cores as exp
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    cores = result["core_counts"]
+
+    for workload, by_system in result["results"].items():
+        ditto = by_system["ditto"]
+        cm = by_system["cliquemap"]
+        redis = by_system["redis"]
+
+        # Ditto is independent of MN compute.
+        assert len({round(v, 6) for v in ditto.values()}) == 1
+        # CliqueMap needs many extra cores to climb toward Ditto.
+        assert cm[cores[-1]] > cm[cores[0]] * 1.5
+        assert ditto[cores[0]] > 2 * cm[cores[0]]
+        # Redis gains with cores but stays skew-limited below Ditto.
+        assert redis[cores[-1]] >= redis[cores[0]]
+        assert ditto[cores[-1]] > redis[cores[-1]]

@@ -1,0 +1,18 @@
+"""Figure 16: penalized throughput on real-world-like workloads."""
+
+from repro.bench.experiments import fig16_real_world_tput as exp
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    for workload, by_system in result["results"].items():
+        ditto = by_system["ditto"]["mops"]
+        best_fixed = max(by_system["ditto-lru"]["mops"], by_system["ditto-lfu"]["mops"])
+        worst_fixed = min(by_system["ditto-lru"]["mops"], by_system["ditto-lfu"]["mops"])
+        best_cm = max(by_system["cm-lru"]["mops"], by_system["cm-lfu"]["mops"])
+
+        # Ditto approaches the better fixed expert and clears the worse one.
+        assert ditto > worst_fixed * 0.9, workload
+        assert ditto > best_fixed * 0.75, workload
+        # Ditto outperforms CliqueMap (hit rate + one-sided data path).
+        assert ditto > best_cm * 0.9, workload

@@ -1,0 +1,21 @@
+"""Figure 17: hit rates on real-world-like workloads across cache sizes."""
+
+from repro.bench.experiments import fig17_real_world_hitrate as exp
+
+
+def test_fig17(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    margin = 0.03
+    for workload, by_frac in result["results"].items():
+        for frac, rates in by_frac.items():
+            low = min(rates["ditto-lru"], rates["ditto-lfu"])
+            high = max(rates["ditto-lru"], rates["ditto-lfu"])
+            # Ditto is bounded by its experts and tracks toward the better.
+            assert rates["ditto"] >= low - margin, (workload, frac)
+            assert rates["ditto"] <= high + margin, (workload, frac)
+        # Averaged over sizes, Ditto clears the midpoint of its experts.
+        ditto_mean = sum(r["ditto"] for r in by_frac.values()) / len(by_frac)
+        mid_mean = sum(
+            (r["ditto-lru"] + r["ditto-lfu"]) / 2 for r in by_frac.values()
+        ) / len(by_frac)
+        assert ditto_mean >= mid_mean - margin, workload

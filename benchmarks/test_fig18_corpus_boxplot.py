@@ -1,0 +1,19 @@
+"""Figure 18: Ditto vs best/worst fixed expert over a workload corpus."""
+
+import numpy as np
+
+from repro.bench.experiments import fig18_corpus_boxplot as exp
+
+
+def test_fig18(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    relative = result["relative"]
+    ditto = float(np.median(relative["ditto"]))
+    best = float(np.median(relative["max_expert"]))
+    worst = float(np.median(relative["min_expert"]))
+
+    # All series beat random eviction on median.
+    assert worst > 1.0
+    # Ditto significantly exceeds the worse expert and approaches the better.
+    assert ditto > worst
+    assert ditto > best - 0.6 * (best - worst)

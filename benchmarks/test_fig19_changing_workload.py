@@ -1,0 +1,19 @@
+"""Figure 19: the phase-switching workload (only Ditto adapts)."""
+
+from repro.bench.experiments import fig19_changing_workload as exp
+
+
+def test_fig19(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    hit = result["hit_rates"]
+    tput = result["throughput_mops"]
+
+    # Ditto matches or beats both fixed experts across the flip-flopping
+    # phases (the paper's Figure 19 claim).
+    best_fixed_hit = max(hit["ditto-lru"], hit["ditto-lfu"])
+    assert hit["ditto"] >= best_fixed_hit - 0.02
+    worst_fixed_hit = min(hit["ditto-lru"], hit["ditto-lfu"])
+    assert hit["ditto"] > worst_fixed_hit
+
+    best_fixed_tput = max(tput["ditto-lru"], tput["ditto-lfu"])
+    assert tput["ditto"] >= best_fixed_tput * 0.85

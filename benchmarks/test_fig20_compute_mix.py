@@ -1,0 +1,17 @@
+"""Figure 20: relative hit rate vs LRU-application client portion."""
+
+from repro.bench.experiments import fig20_compute_mix as exp
+
+
+def test_fig20(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+
+    # With no LRU clients, LFU dominates and Ditto exceeds the Ditto-LRU
+    # baseline; as the LRU portion grows, Ditto converges to Ditto-LRU.
+    assert rows[0]["ditto-lfu"] > 1.0
+    assert rows[0]["ditto"] > 1.0
+    assert rows[-1]["ditto-lfu"] < 1.0
+    assert rows[-1]["ditto"] > rows[-1]["ditto-lfu"]
+    for row in rows:
+        assert row["ditto"] >= min(1.0, row["ditto-lfu"]) - 0.05

@@ -1,0 +1,14 @@
+"""Figure 21: relative hit rates under growing client counts."""
+
+from repro.bench.experiments import fig21_client_scaling as exp
+
+
+def test_fig21(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    for row in result["rows"]:
+        rel = row["relative"]
+        low = min(rel["ditto-lru"], rel["ditto-lfu"])
+        high = max(rel["ditto-lru"], rel["ditto-lfu"])
+        # Ditto stays at or above the worse fixed expert at every count.
+        assert rel["ditto"] >= low - 0.03, row["clients"]
+        assert rel["ditto"] <= high + 0.08, row["clients"]

@@ -1,0 +1,14 @@
+"""Figure 22: hit rate under dynamically growing memory."""
+
+from repro.bench.experiments import fig22_memory_scaling as exp
+
+
+def test_fig22(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    for row in rows:
+        low = min(row["ditto-lru"], row["ditto-lfu"])
+        # Ditto adapts to the size-dependent best algorithm.
+        assert row["ditto"] >= low - 0.03, row["cache_frac"]
+    # Bigger caches help everyone (sanity).
+    assert rows[-1]["ditto"] > rows[0]["ditto"]

@@ -1,0 +1,23 @@
+"""Figure 23 + Table 3: 12 algorithms, their performance and coding effort."""
+
+from repro.bench.experiments import fig23_twelve_algorithms as exp
+
+
+def test_fig23_tab03(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    assert len(rows) == 12
+
+    for row in rows:
+        assert row["mops"] > 0, row["algorithm"]
+        assert 0 <= row["hit_rate"] <= 1
+        # Table 3: every algorithm integrates in at most ~23 LOC.
+        assert row["loc"] <= 25, row["algorithm"]
+
+    average_loc = sum(r["loc"] for r in rows) / len(rows)
+    assert average_loc <= 16  # paper: 12.5 LOC on average
+
+    by_name = {r["algorithm"]: r for r in rows}
+    # MRU is the pathological policy on this workload (as in the paper).
+    others_best = max(r["hit_rate"] for r in rows if r["algorithm"] != "mru")
+    assert by_name["mru"]["hit_rate"] < others_best

@@ -1,0 +1,18 @@
+"""Figure 24: contribution of each Ditto technique."""
+
+from repro.bench.experiments import fig24_ablation as exp
+
+
+def test_fig24(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = {r["variant"]: r for r in result["rows"]}
+    full = rows["ditto (full)"]["mops"]
+
+    # Every ablation costs throughput (small noise allowance), and removing
+    # everything costs the most.
+    for variant in ("-sfht", "-lwh", "-lwu", "-fc"):
+        assert rows[variant]["mops"] <= full * 1.03, variant
+    assert rows["-all"]["mops"] < full
+    # SFHT is the dominant contribution (paper: +42%).
+    assert rows["-sfht"]["mops"] < full * 0.95
+    assert rows["-all"]["mops"] <= rows["-sfht"]["mops"] * 1.05

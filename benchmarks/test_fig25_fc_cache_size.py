@@ -1,0 +1,17 @@
+"""Figure 25: YCSB-C performance vs FC cache size."""
+
+from repro.bench.experiments import fig25_fc_cache_size as exp
+
+
+def test_fig25(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    no_fc, biggest = rows[0], rows[-1]
+
+    # More FC cache -> fewer FAAs -> more throughput, lower tail latency.
+    assert biggest["faas"] < no_fc["faas"]
+    assert biggest["mops"] >= no_fc["mops"]
+    assert biggest["p99_us"] <= no_fc["p99_us"] * 1.05
+    # Gains flatten: the last doubling adds little (paper: >5 MB plateau).
+    second_biggest = rows[-2]
+    assert biggest["mops"] <= second_biggest["mops"] * 1.15

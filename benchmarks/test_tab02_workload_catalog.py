@@ -1,0 +1,16 @@
+"""Table 2: the real-world workload catalog."""
+
+from repro.bench.experiments import tab02_workload_catalog as exp
+
+
+def test_tab02(benchmark):
+    result = benchmark.pedantic(exp.main, rounds=1, iterations=1)
+    rows = result["rows"]
+    assert len(rows) == 6
+    names = {r["workload"] for r in rows}
+    assert names == {
+        "webmail", "ibm", "cloudphysics",
+        "twitter-transient", "twitter-storage", "twitter-compute",
+    }
+    for row in rows:
+        assert 0 < row["footprint"] <= row["keys"]

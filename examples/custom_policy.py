@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Example: integrating a custom caching algorithm into Ditto.
+
+The paper's Table 3 point: because the client-centric framework reduces an
+algorithm to an ``update`` rule and a ``priority`` function over per-object
+metadata, new algorithms land in ~10 lines.  Here we add **scan-guarded
+LRU** — one-hit objects are evicted before anything else, protecting the hot
+set from one-shot "flash" traffic — and run it head to head with plain LRU on
+a scan-polluted workload.
+
+Run: python examples/custom_policy.py
+"""
+
+import numpy as np
+
+from repro.cachesim import SampledAdaptiveCache
+from repro.core import DittoCluster, DittoConfig
+from repro.core.policies import POLICY_REGISTRY, CachePolicy, Metadata, policy_loc
+from repro.workloads import zipfian_trace
+
+
+class GuardedLru(CachePolicy):
+    """LRU that sacrifices one-hit wonders first (scan resistance)."""
+
+    name = "guarded-lru"
+    info = ("ts_L", "F")
+
+    def priority(self, m: Metadata, now: float) -> float:
+        if m.freq <= 1:
+            return float("-inf")  # never re-referenced: evict first
+        return m.last_ts
+
+
+def main() -> None:
+    # Register it like any built-in policy.
+    POLICY_REGISTRY[GuardedLru.name] = GuardedLru
+    print(f"GuardedLru integrated in {policy_loc(GuardedLru())} lines of code")
+
+    # 60% skewed traffic over a hot set + 40% one-shot flash keys that
+    # pollute a recency-only cache.
+    rng = np.random.default_rng(3)
+    hot = zipfian_trace(60_000, 800, theta=0.9, seed=4)
+    flash = rng.integers(10_000, 80_000, size=60_000)
+    trace = np.where(rng.random(60_000) < 0.6, hot, flash)
+
+    for name in ("lru", "guarded-lru"):
+        cache = SampledAdaptiveCache(400, policies=(name,), seed=1)
+        for key in trace:
+            cache.access(int(key))
+        print(f"{name:12s} hit rate: {cache.hit_rate():.2%}")
+
+    # The same class drives the full DM system, including as an adaptive
+    # expert alongside LFU — no other code changes.
+    cluster = DittoCluster(
+        capacity_objects=256,
+        object_bytes=64,
+        num_clients=2,
+        config=DittoConfig(policies=("guarded-lru", "lfu")),
+        seed=2,
+    )
+    client = cluster.clients[0]
+    for i in range(1200):
+        cluster.engine.run_process(client.set(b"k%d" % (i % 500), b"v" * 40))
+        cluster.engine.run_process(client.get(b"k%d" % ((i * 3) % 500)))
+    print(f"\nDM cluster with (guarded-lru, lfu) experts: "
+          f"hit={cluster.hit_rate():.2%}, "
+          f"weights={[round(w, 2) for w in client.weights.weights]}")
+
+
+if __name__ == "__main__":
+    main()

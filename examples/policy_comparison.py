@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Example: comparing all 12 caching algorithms across workload families.
+
+Uses the fast hit-rate tier (the same policy classes the DM system runs) to
+sweep every integrated algorithm over every synthetic workload family — a
+miniature of the analysis a practitioner would run to choose Ditto's expert
+set for their traffic.
+
+Run: python examples/policy_comparison.py
+"""
+
+from repro.bench import format_table
+from repro.cachesim import SampledAdaptiveCache
+from repro.core import POLICY_REGISTRY
+from repro.workloads import WORKLOAD_CATALOG, footprint
+
+N_REQUESTS = 40_000
+CACHE_FRAC = 0.1
+
+
+def main() -> None:
+    workload_names = list(WORKLOAD_CATALOG)
+    rows = []
+    best = {}
+    for algorithm in POLICY_REGISTRY:
+        row = [algorithm]
+        for name in workload_names:
+            spec = WORKLOAD_CATALOG[name]
+            trace = spec.trace(N_REQUESTS, seed=7)
+            capacity = max(int(footprint(trace) * CACHE_FRAC), 8)
+            cache = SampledAdaptiveCache(capacity, policies=(algorithm,), seed=1)
+            for key in trace:
+                cache.access(int(key))
+            rate = cache.hit_rate()
+            row.append(rate)
+            if rate > best.get(name, (None, -1.0))[1]:
+                best[name] = (algorithm, rate)
+        rows.append(row)
+
+    # Adaptive Ditto (LRU+LFU) as the reference line.
+    ditto_row = ["ditto(lru+lfu)"]
+    for name in workload_names:
+        spec = WORKLOAD_CATALOG[name]
+        trace = spec.trace(N_REQUESTS, seed=7)
+        capacity = max(int(footprint(trace) * CACHE_FRAC), 8)
+        cache = SampledAdaptiveCache(capacity, policies=("lru", "lfu"), seed=1)
+        for key in trace:
+            cache.access(int(key))
+        ditto_row.append(cache.hit_rate())
+    rows.append(ditto_row)
+
+    print(format_table(["algorithm"] + workload_names, rows))
+    print("\nbest fixed algorithm per workload:")
+    for name, (algorithm, rate) in best.items():
+        print(f"  {name:20s} {algorithm:12s} ({rate:.2%})")
+    print("\nNo single fixed algorithm wins everywhere — the motivation for")
+    print("Ditto's adaptive expert selection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of Ditto, the elastic and adaptive
+memory-disaggregated caching system (SOSP 2023).
+
+Public API highlights:
+
+- :class:`repro.DittoCache` — synchronous cache over simulated disaggregated
+  memory (the paper's system, usable as a library).
+- :class:`repro.DittoCluster` — the full deployment for timed experiments.
+- :mod:`repro.cachesim` — fast hit-rate simulator sharing the same policies.
+- :mod:`repro.workloads` — YCSB and synthetic real-world-like trace
+  generators.
+- :mod:`repro.baselines` — Redis-like, CliqueMap, and Shard-LRU comparators.
+- :mod:`repro.bench` — the experiment harness regenerating every paper
+  figure/table.
+"""
+
+from .core import (
+    CacheOperationError,
+    CachePolicy,
+    DittoCache,
+    DittoCluster,
+    DittoConfig,
+    Metadata,
+    POLICY_REGISTRY,
+    make_policy,
+)
+from .rdma import NetworkParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheOperationError",
+    "CachePolicy",
+    "DittoCache",
+    "DittoCluster",
+    "DittoConfig",
+    "Metadata",
+    "NetworkParams",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "__version__",
+]

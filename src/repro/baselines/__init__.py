@@ -1,0 +1,18 @@
+"""Baseline systems the paper compares against."""
+
+from .cliquemap import CliqueMapClient, CliqueMapCluster, CliqueMapServer
+from .kvs import DmKvsClient, DmKvsCluster
+from .redis_like import RedisClient, RedisCluster
+from .shard_lru import ShardLruClient, ShardLruCluster
+
+__all__ = [
+    "CliqueMapClient",
+    "CliqueMapCluster",
+    "CliqueMapServer",
+    "DmKvsClient",
+    "DmKvsCluster",
+    "RedisClient",
+    "RedisCluster",
+    "ShardLruClient",
+    "ShardLruCluster",
+]

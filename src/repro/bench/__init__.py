@@ -1,0 +1,25 @@
+"""Experiment harness: drivers, result formatting, and scaling knobs."""
+
+from .format import format_table, print_table
+from .runner import (
+    Feed,
+    Harness,
+    MeasureResult,
+    make_value,
+    pack_key,
+    preload,
+)
+from .scale import scale_name, scaled
+
+__all__ = [
+    "Feed",
+    "Harness",
+    "MeasureResult",
+    "format_table",
+    "make_value",
+    "pack_key",
+    "preload",
+    "print_table",
+    "scale_name",
+    "scaled",
+]

@@ -1,0 +1,7 @@
+"""Per-figure experiment drivers.
+
+One module per paper figure/table; each exposes ``run(...) -> dict`` with the
+rows/series the paper reports, plus ``main()`` printing them.  The
+``benchmarks/`` suite wraps these with pytest-benchmark and asserts the
+paper's qualitative shapes.
+"""

@@ -1,0 +1,80 @@
+"""Figure 2: the cost of maintaining caching data structures on DM.
+
+KVC (one lock-protected LRU list), KVC-S (32 sharded lists + 5 µs backoff),
+and a plain KVS run read-only YCSB-C.  Expected shapes: (a) with one client,
+KVC/KVC-S throughput is a fraction of KVS and tail latency several times
+higher (extra verbs on the critical path); (b) with many clients, KVC
+collapses under lock-fail CAS retries that exhaust the MN NIC, KVC-S decays
+more mildly, KVS keeps scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...baselines import DmKvsCluster
+from ..format import print_table
+from ..scale import scaled
+from ..systems import build_shard_lru, run_ycsb_workload
+
+
+def _build(system: str, n_keys: int, num_clients: int):
+    if system == "kvs":
+        return DmKvsCluster(capacity_objects=2 * n_keys, num_clients=num_clients, seed=7)
+    if system == "kvc":
+        return build_shard_lru(4 * n_keys, num_clients, shards=1, backoff_us=0.0)
+    if system == "kvc-s":
+        return build_shard_lru(4 * n_keys, num_clients, shards=32, backoff_us=5.0)
+    raise ValueError(system)
+
+
+def run(
+    n_keys: int = 5_000,
+    client_counts=(1, 8, 32, 64, 128),
+    window_us: float = 10_000.0,
+) -> Dict:
+    single: Dict[str, Dict[str, float]] = {}
+    multi: Dict[str, Dict[int, float]] = {"kvs": {}, "kvc": {}, "kvc-s": {}}
+    for system in ("kvs", "kvc", "kvc-s"):
+        for count in client_counts:
+            cluster = _build(system, n_keys, count)
+            result = run_ycsb_workload(
+                cluster, cluster.clients, "C", n_keys, window_us=window_us
+            )
+            multi[system][count] = result.throughput_mops
+            if count == 1:
+                single[system] = {
+                    "mops": result.throughput_mops,
+                    "p50_us": result.get_latency.median(),
+                    "p99_us": result.get_latency.p99(),
+                }
+    return {"single_client": single, "multi_client": multi, "client_counts": list(client_counts)}
+
+
+def main() -> Dict:
+    result = run(
+        n_keys=scaled(5_000, 1_000_000),
+        window_us=scaled(10_000.0, 200_000.0),
+    )
+    print_table(
+        "Figure 2a: single-client performance",
+        ["system", "Mops", "p50 (us)", "p99 (us)"],
+        [
+            (name, row["mops"], row["p50_us"], row["p99_us"])
+            for name, row in result["single_client"].items()
+        ],
+    )
+    counts = result["client_counts"]
+    print_table(
+        "Figure 2b: multi-client throughput (Mops)",
+        ["system"] + [str(c) for c in counts],
+        [
+            [name] + [result["multi_client"][name][c] for c in counts]
+            for name in ("kvs", "kvc", "kvc-s")
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

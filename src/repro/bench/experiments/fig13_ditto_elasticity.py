@@ -1,0 +1,103 @@
+"""Figure 13: Ditto's throughput under dynamic compute and memory scaling.
+
+The DM payoff: adding CPU cores (client threads) raises throughput
+*immediately* — no data migration — and removing them reclaims resources
+immediately; growing/shrinking the memory budget leaves throughput and tail
+latency flat (read-only working set already fits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...workloads import make_ycsb
+from ..format import print_table
+from ..runner import Feed, Harness, preload
+from ..scale import scaled
+from ..systems import build_ditto
+
+
+def run(
+    n_keys: int = 5_000,
+    base_clients: int = 8,
+    extra_clients: int = 8,
+    phase_us: float = 60_000.0,
+    window_us: float = 20_000.0,
+    seed: int = 9,
+) -> Dict:
+    total = base_clients + extra_clients
+    cluster = build_ditto(
+        2 * n_keys, total, seed=seed, max_capacity_objects=4 * n_keys
+    )
+    preload(cluster.engine, cluster.clients, range(n_keys), value_size=232)
+    harness = Harness(cluster.engine, value_size=232)
+
+    def feed(i: int) -> Feed:
+        return Feed.from_requests(
+            make_ycsb("C", n_keys=n_keys, seed=seed + i).requests(16_000)
+        )
+
+    base = cluster.clients[:base_clients]
+    extras = cluster.clients[base_clients:]
+    base_handles = harness.launch_all(base, [feed(i) for i in range(base_clients)])
+    harness.warm(50_000.0)
+
+    timeline: List[Dict] = []
+
+    def sample(label: str) -> None:
+        end = cluster.engine.now + phase_us
+        while cluster.engine.now < end - 1.0:
+            result = harness.measure(min(window_us, end - cluster.engine.now))
+            timeline.append(
+                {
+                    "t_s": cluster.engine.now / 1e6,
+                    "phase": label,
+                    "mops": result.throughput_mops,
+                    "p50_us": result.get_latency.median(),
+                    "p99_us": result.get_latency.p99(),
+                }
+            )
+
+    sample("base-compute")
+    extra_handles = harness.launch_all(
+        extras, [feed(base_clients + i) for i in range(extra_clients)]
+    )
+    sample("compute-scaled-up")
+    for handle in extra_handles:
+        harness.stop(handle)
+    sample("compute-scaled-down")
+    cluster.resize_memory(4 * n_keys)
+    sample("memory-scaled-up")
+    cluster.resize_memory(2 * n_keys)
+    sample("memory-scaled-down")
+    for handle in base_handles:
+        harness.stop(handle)
+    return {"timeline": timeline}
+
+
+def phase_mean(timeline, phase: str, field: str = "mops") -> float:
+    values = [row[field] for row in timeline if row["phase"] == phase]
+    return sum(values) / len(values) if values else 0.0
+
+
+def main() -> Dict:
+    result = run(
+        n_keys=scaled(5_000, 10_000_000),
+        base_clients=scaled(8, 32),
+        extra_clients=scaled(8, 32),
+        phase_us=scaled(60_000.0, 180_000_000.0),
+        window_us=scaled(20_000.0, 1_000_000.0),
+    )
+    print_table(
+        "Figure 13: Ditto under compute/memory scaling",
+        ["t (s)", "phase", "Mops", "p50 (us)", "p99 (us)"],
+        [
+            (r["t_s"], r["phase"], r["mops"], r["p50_us"], r["p99_us"])
+            for r in result["timeline"]
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 15: throughput vs MN-side CPU cores (Ditto, CliqueMap, Redis).
+
+Ditto uses one-sided verbs only, so its throughput is flat in MN compute;
+CliqueMap needs tens of extra server cores to approach it (and stays behind
+on write-heavy YCSB-A); Redis — running *on* those MN cores — is bottlenecked
+by the hottest shard under Zipfian skew.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ...baselines import RedisCluster
+from ..format import print_table
+from ..runner import Feed, Harness, make_value, pack_key
+from ..scale import scaled
+from ..systems import build_cliquemap, build_ditto, run_ycsb_workload
+from ...workloads import make_ycsb
+
+
+def _redis_mops(cores: int, workload: str, n_keys: int, clients: int, window_us: float) -> float:
+    cluster = RedisCluster(initial_nodes=cores)
+    cluster.load({pack_key(i): make_value(232) for i in range(n_keys)})
+    cluster.add_clients(clients)
+    harness = Harness(cluster.engine, value_size=232)
+    feeds = [
+        Feed.from_requests(
+            make_ycsb(workload, n_keys=n_keys, seed=50 + i).requests(8_000)
+        )
+        for i in range(clients)
+    ]
+    harness.launch_all(cluster.clients, feeds)
+    harness.warm(window_us)
+    return harness.measure(window_us).throughput_mops
+
+
+def run(
+    workloads: Sequence[str] = ("A", "C"),
+    core_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    n_keys: int = 5_000,
+    clients: int = 64,
+    window_us: float = 10_000.0,
+) -> Dict:
+    results: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for workload in workloads:
+        per_system: Dict[str, Dict[int, float]] = {"ditto": {}, "cliquemap": {}, "redis": {}}
+        ditto = build_ditto(2 * n_keys, clients)
+        ditto_mops = run_ycsb_workload(
+            ditto, ditto.clients, workload, n_keys, window_us=window_us
+        ).throughput_mops
+        for cores in core_counts:
+            per_system["ditto"][cores] = ditto_mops  # one-sided: flat by design
+            cm = build_cliquemap("lru", 2 * n_keys, clients, server_cores=cores)
+            per_system["cliquemap"][cores] = run_ycsb_workload(
+                cm, cm.clients, workload, n_keys, window_us=window_us
+            ).throughput_mops
+            per_system["redis"][cores] = _redis_mops(
+                cores, workload, n_keys, clients, window_us
+            )
+        results[workload] = per_system
+    return {"results": results, "core_counts": list(core_counts)}
+
+
+def main() -> Dict:
+    result = run(
+        n_keys=scaled(5_000, 10_000_000),
+        clients=scaled(64, 256),
+        core_counts=scaled((1, 2, 4, 8, 16), (1, 4, 8, 16, 32, 64)),
+        window_us=scaled(10_000.0, 100_000.0),
+    )
+    cores = result["core_counts"]
+    for workload, by_system in result["results"].items():
+        print_table(
+            f"Figure 15: YCSB-{workload} throughput (Mops) vs MN cores",
+            ["system"] + [str(c) for c in cores],
+            [
+                [system] + [by_system[system][c] for c in cores]
+                for system in ("ditto", "cliquemap", "redis")
+            ],
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 16: penalized throughput on real-world-like workloads.
+
+Clients replay trace shards; each Get miss pays the 500 µs distributed-
+storage penalty before the fill Set.  Ditto's throughput should approach the
+better of Ditto-LRU/Ditto-LFU and beat CliqueMap (lower hit rate and an
+MN-CPU-bound Set path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ...workloads import WORKLOAD_CATALOG, footprint
+from ..format import print_table
+from ..scale import scaled
+from ..systems import build_cliquemap, build_ditto, run_trace_workload
+
+SYSTEMS = ("ditto", "ditto-lru", "ditto-lfu", "cm-lru", "cm-lfu")
+
+
+def build_system(system: str, capacity: int, clients: int):
+    if system == "ditto":
+        return build_ditto(capacity, clients)
+    if system == "ditto-lru":
+        return build_ditto(capacity, clients, policies=("lru",))
+    if system == "ditto-lfu":
+        return build_ditto(capacity, clients, policies=("lfu",))
+    if system == "cm-lru":
+        return build_cliquemap("lru", capacity, clients)
+    if system == "cm-lfu":
+        return build_cliquemap("lfu", capacity, clients)
+    raise ValueError(system)
+
+
+def run(
+    workload_names: Sequence[str] = (
+        "webmail", "ibm", "cloudphysics", "twitter-transient", "twitter-storage",
+    ),
+    systems: Sequence[str] = SYSTEMS,
+    n_requests: int = 60_000,
+    clients: int = 16,
+    capacity_frac: float = 0.1,
+    miss_penalty_us: float = 500.0,
+    window_us: float = 100_000.0,
+    warm_us: float = 250_000.0,
+    seed: int = 6,
+) -> Dict:
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workload_names:
+        spec = WORKLOAD_CATALOG[name]
+        trace = spec.trace(n_requests, seed=seed)
+        capacity = max(int(footprint(trace) * capacity_frac), 16)
+        results[name] = {}
+        for system in systems:
+            cluster = build_system(system, capacity, clients)
+            measured = run_trace_workload(
+                cluster,
+                cluster.clients,
+                trace,
+                miss_penalty_us=miss_penalty_us,
+                warm_us=warm_us,
+                window_us=window_us,
+            )
+            results[name][system] = {
+                "mops": measured.throughput_mops,
+                "hit_rate": measured.hit_rate,
+            }
+    return {"results": results}
+
+
+def main() -> Dict:
+    result = run(
+        n_requests=scaled(60_000, 10_000_000),
+        clients=scaled(16, 64),
+        window_us=scaled(40_000.0, 20_000_000.0),
+    )
+    for workload, by_system in result["results"].items():
+        print_table(
+            f"Figure 16: {workload} penalized throughput",
+            ["system", "Mops", "hit rate"],
+            [
+                (system, row["mops"], row["hit_rate"])
+                for system, row in by_system.items()
+            ],
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Plain-text table output for experiment results (paper-figure rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Align columns; floats get 3 significant decimals."""
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(t.ljust(w) for t, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,81 @@
+"""Run every paper experiment and print all tables.
+
+Usage::
+
+    python -m repro.bench.run_all              # quick scale
+    REPRO_SCALE=full python -m repro.bench.run_all
+    python -m repro.bench.run_all fig14 fig24  # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .experiments import (
+    extra_history_size,
+    extra_sample_size,
+    fig01_redis_elasticity,
+    fig02_caching_structure_cost,
+    fig03_client_mix,
+    fig04_cache_size,
+    fig05_concurrency_effects,
+    fig13_ditto_elasticity,
+    fig14_ycsb_scaling,
+    fig15_mn_cpu_cores,
+    fig16_real_world_tput,
+    fig17_real_world_hitrate,
+    fig18_corpus_boxplot,
+    fig19_changing_workload,
+    fig20_compute_mix,
+    fig21_client_scaling,
+    fig22_memory_scaling,
+    fig23_twelve_algorithms,
+    fig24_ablation,
+    fig25_fc_cache_size,
+    tab02_workload_catalog,
+)
+from .scale import scale_name
+
+EXPERIMENTS = {
+    "fig01": fig01_redis_elasticity,
+    "fig02": fig02_caching_structure_cost,
+    "fig03": fig03_client_mix,
+    "fig04": fig04_cache_size,
+    "fig05": fig05_concurrency_effects,
+    "fig13": fig13_ditto_elasticity,
+    "fig14": fig14_ycsb_scaling,
+    "fig15": fig15_mn_cpu_cores,
+    "fig16": fig16_real_world_tput,
+    "fig17": fig17_real_world_hitrate,
+    "fig18": fig18_corpus_boxplot,
+    "fig19": fig19_changing_workload,
+    "fig20": fig20_compute_mix,
+    "fig21": fig21_client_scaling,
+    "fig22": fig22_memory_scaling,
+    "fig23": fig23_twelve_algorithms,
+    "fig24": fig24_ablation,
+    "fig25": fig25_fc_cache_size,
+    "tab02": tab02_workload_catalog,
+    "extra-samples": extra_sample_size,
+    "extra-history": extra_history_size,
+}
+
+
+def main(argv=None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    print(f"scale: {scale_name()}")
+    for name in names:
+        started = time.time()
+        print(f"\n########## {name} ##########")
+        EXPERIMENTS[name].main()
+        print(f"[{name} done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

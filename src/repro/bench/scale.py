@@ -1,0 +1,21 @@
+"""Experiment sizing: quick (default) vs full paper-scale runs.
+
+Set ``REPRO_SCALE=full`` to run paper-sized request counts; the default
+``quick`` scale preserves every figure's *shape* in seconds, not hours.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale_name() -> str:
+    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    if name not in ("quick", "full"):
+        raise ValueError(f"REPRO_SCALE must be 'quick' or 'full', got {name!r}")
+    return name
+
+
+def scaled(quick, full):
+    """Pick the parameter for the active scale."""
+    return full if scale_name() == "full" else quick

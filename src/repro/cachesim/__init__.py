@@ -1,0 +1,19 @@
+"""Fast hit-rate simulators sharing policy semantics with the DM client."""
+
+from .exact import (
+    BeladyCache,
+    ExactCacheBase,
+    ExactLFUCache,
+    ExactLRUCache,
+    RandomCache,
+)
+from .simulator import SampledAdaptiveCache
+
+__all__ = [
+    "BeladyCache",
+    "ExactCacheBase",
+    "ExactLFUCache",
+    "ExactLRUCache",
+    "RandomCache",
+    "SampledAdaptiveCache",
+]

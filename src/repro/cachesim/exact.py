@@ -1,0 +1,216 @@
+"""Exact (non-sampled) cache models: precise LRU, O(1) LFU, and random.
+
+CM-LRU and CM-LFU — the CliqueMap baselines — execute *precise* caching
+algorithms with server-side data structures; these classes are their hit-rate
+models.  ``RandomCache`` is the normalization baseline of Figure 18.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, defaultdict
+from typing import Dict, List, Optional
+
+
+class ExactCacheBase:
+    """Shared counters + interface of the exact cache models."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        raise NotImplementedError
+
+
+class ExactLRUCache(ExactCacheBase):
+    """Textbook LRU with a doubly linked list (an OrderedDict)."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._store: "OrderedDict[object, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(key)
+        return False
+
+    def touch(self, key) -> bool:
+        """Bump recency without hit/miss accounting (CliqueMap merge path)."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            return True
+        return False
+
+    def insert(self, key) -> list:
+        """Admit ``key`` (no counters); returns the evicted keys."""
+        evicted = []
+        if key in self._store:
+            self._store.move_to_end(key)
+            return evicted
+        while len(self._store) >= self.capacity:
+            victim, _ = self._store.popitem(last=False)
+            evicted.append(victim)
+            self.evictions += 1
+        self._store[key] = None
+        return evicted
+
+
+class ExactLFUCache(ExactCacheBase):
+    """O(1) LFU: per-frequency recency buckets with a min-frequency cursor.
+
+    Ties within a frequency break LRU-first, the common implementation.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._freq: Dict[object, int] = {}
+        self._buckets: Dict[int, "OrderedDict[object, None]"] = defaultdict(
+            OrderedDict
+        )
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def __contains__(self, key) -> bool:
+        return key in self._freq
+
+    def _bump(self, key) -> None:
+        freq = self._freq[key]
+        del self._buckets[freq][key]
+        if not self._buckets[freq]:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets[freq + 1][key] = None
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        if key in self._freq:
+            self._bump(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(key)
+        return False
+
+    def touch(self, key) -> bool:
+        """Bump frequency without hit/miss accounting (CliqueMap merge path)."""
+        if key in self._freq:
+            self._bump(key)
+            return True
+        return False
+
+    def insert(self, key) -> list:
+        """Admit ``key`` (no counters); returns the evicted keys."""
+        evicted = []
+        if key in self._freq:
+            self._bump(key)
+            return evicted
+        while len(self._freq) >= self.capacity:
+            victim, _ = self._buckets[self._min_freq].popitem(last=False)
+            if not self._buckets[self._min_freq]:
+                del self._buckets[self._min_freq]
+            del self._freq[victim]
+            evicted.append(victim)
+            self.evictions += 1
+        self._freq[key] = 1
+        self._buckets[1][key] = None
+        self._min_freq = 1
+        return evicted
+
+
+class RandomCache(ExactCacheBase):
+    """Random eviction: the hit-rate normalization baseline of Figure 18."""
+
+    def __init__(self, capacity: int, seed: int = 0):
+        super().__init__(capacity)
+        self._present: Dict[object, int] = {}
+        self._keys: List[object] = []
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __contains__(self, key) -> bool:
+        return key in self._present
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        if key in self._present:
+            self.hits += 1
+            return True
+        self.misses += 1
+        while len(self._keys) >= self.capacity:
+            pos = self._rng.randrange(len(self._keys))
+            victim = self._keys[pos]
+            last = self._keys.pop()
+            if last is not victim:
+                self._keys[pos] = last
+                self._present[last] = pos
+            del self._present[victim]
+            self.evictions += 1
+        self._present[key] = len(self._keys)
+        self._keys.append(key)
+        return False
+
+
+class BeladyCache(ExactCacheBase):
+    """Belady's MIN (clairvoyant) — the upper bound, for analysis examples.
+
+    Requires the full trace up front to precompute next-use times.
+    """
+
+    def __init__(self, capacity: int, trace):
+        super().__init__(capacity)
+        self._trace = list(trace)
+        self._next_use: List[int] = [0] * len(self._trace)
+        last_seen: Dict[object, int] = {}
+        infinity = len(self._trace) + 1
+        for i in range(len(self._trace) - 1, -1, -1):
+            key = self._trace[i]
+            self._next_use[i] = last_seen.get(key, infinity)
+            last_seen[key] = i
+        self._pos = 0
+        self._store: Dict[object, int] = {}  # key -> next use index
+
+    def run(self) -> float:
+        """Replay the whole trace; returns the hit rate."""
+        for pos, key in enumerate(self._trace):
+            next_use = self._next_use[pos]
+            if key in self._store:
+                self.hits += 1
+            else:
+                self.misses += 1
+                if len(self._store) >= self.capacity:
+                    victim = max(self._store, key=self._store.get)
+                    del self._store[victim]
+                    self.evictions += 1
+            self._store[key] = next_use
+        return self.hit_rate()
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        raise NotImplementedError("BeladyCache replays via run()")

@@ -1,0 +1,217 @@
+"""Fast functional simulator of Ditto's caching semantics.
+
+Hit-rate experiments (paper Figs. 3-5, 17-22) replay millions of requests;
+running them through the byte-level DM machinery would be needlessly slow.
+This simulator reproduces exactly the *algorithmic* behaviour — sampled
+eviction with priority functions, the embedded eviction history with logical
+FIFO expiry, and regret-minimization over expert weights — while skipping the
+network.  It reuses the very same policy classes as the DM client, so the two
+tiers cannot drift apart semantically.
+
+Time is a logical access counter, matching how trace-driven cache analysis is
+usually done.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.adaptive import ExpertWeights, bitmap_of
+from ..core.history import HISTORY_WRAP, history_age, is_expired
+from ..core.policies import CachePolicy, Metadata, make_policy
+
+
+class SampledAdaptiveCache:
+    """Ditto's cache semantics at trace-replay speed.
+
+    With one policy this is Ditto-LRU/Ditto-LFU/...: sampled eviction under a
+    fixed priority function.  With several policies the adaptive machinery
+    (history + regret minimization) selects among them, as in the full
+    system.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policies: Sequence[str] = ("lru", "lfu"),
+        sample_size: int = 5,
+        history_size: Optional[int] = None,
+        learning_rate: float = 0.1,
+        seed: int = 0,
+        policy_objects: Optional[Sequence[CachePolicy]] = None,
+        selection: str = "proportional",
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.sample_size = sample_size
+        self.history_size = history_size if history_size is not None else capacity
+        self.rng = random.Random(seed)
+        if policy_objects is not None:
+            self.policies: List[CachePolicy] = list(policy_objects)
+        else:
+            self.policies = [make_policy(name) for name in policies]
+        self.adaptive = len(self.policies) > 1
+        self.weights = ExpertWeights(
+            num_experts=len(self.policies),
+            history_size=self.history_size,
+            learning_rate=learning_rate,
+            batch_size=1 << 30,  # local-only updates; no RPC in this tier
+            rng=self.rng,
+            selection=selection,
+        )
+        self._store: Dict[object, Metadata] = {}
+        self._keys: List[object] = []
+        self._key_pos: Dict[object, int] = {}
+        # Eviction history: key -> (history_id, expert_bitmap), plus a FIFO
+        # of (history_id, key) for lazy pruning of expired entries.
+        self._history: Dict[object, Tuple[int, int]] = {}
+        self._history_fifo: deque = deque()
+        self._history_counter = 0
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.regrets = 0
+        self.evictions = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _add_key(self, key) -> None:
+        self._key_pos[key] = len(self._keys)
+        self._keys.append(key)
+
+    def _remove_key(self, key) -> None:
+        pos = self._key_pos.pop(key)
+        last = self._keys.pop()
+        if last is not key:
+            self._keys[pos] = last
+            self._key_pos[last] = pos
+
+    def resize(self, capacity: int) -> None:
+        """Elastic memory change; over-full caches shrink on later inserts."""
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+
+    @property
+    def expert_weights(self) -> List[float]:
+        return list(self.weights.weights)
+
+    # -- the access path -----------------------------------------------------
+
+    def access(self, key, size: int = 1, cost: float = 1.0) -> bool:
+        """Process one request; inserts on miss.  Returns True on a hit."""
+        self._tick += 1
+        now = self._tick
+        meta = self._store.get(key)
+        if meta is not None:
+            meta.freq += 1
+            for policy in self.policies:
+                policy.update(meta, now)
+            meta.last_ts = now
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._collect_regret(key)
+        self._insert(key, size, cost, now)
+        return False
+
+    def lookup(self, key) -> bool:
+        """A Get that does *not* insert on miss (for read-only probes)."""
+        self._tick += 1
+        meta = self._store.get(key)
+        if meta is None:
+            self.misses += 1
+            self._collect_regret(key)
+            return False
+        meta.freq += 1
+        for policy in self.policies:
+            policy.update(meta, self._tick)
+        meta.last_ts = self._tick
+        self.hits += 1
+        return True
+
+    def insert(self, key, size: int = 1, cost: float = 1.0) -> None:
+        """Explicit insert (the Set after a miss-penalty fetch)."""
+        self._tick += 1
+        if key not in self._store:
+            self._insert(key, size, cost, self._tick)
+
+    def _insert(self, key, size: int, cost: float, now: int) -> None:
+        while len(self._store) >= self.capacity:
+            self._evict(now)
+        meta = Metadata(
+            size=size, insert_ts=now, last_ts=now, freq=1, cost=cost
+        )
+        for policy in self.policies:
+            policy.on_insert(meta, now)
+        self._store[key] = meta
+        self._add_key(key)
+
+    # -- eviction + history ---------------------------------------------------
+
+    def _sample(self) -> List[object]:
+        n = len(self._keys)
+        k = min(self.sample_size, n)
+        if k == n:
+            return list(self._keys)
+        picks = self.rng.sample(range(n), k)
+        return [self._keys[i] for i in picks]
+
+    def _evict(self, now: int) -> None:
+        sampled = self._sample()
+        candidates = []
+        for policy in self.policies:
+            best = min(
+                sampled, key=lambda k: policy.priority(self._store[k], now)
+            )
+            candidates.append(best)
+        choice = self.weights.choose() if self.adaptive else 0
+        victim = candidates[choice]
+        bitmap = bitmap_of(candidates, victim)
+        meta = self._store.pop(victim)
+        self._remove_key(victim)
+        for policy in self.policies:
+            policy.on_evict(meta, now)
+        self._record_history(victim, bitmap)
+        self.evictions += 1
+
+    def _record_history(self, key, bitmap: int) -> None:
+        history_id = self._history_counter % HISTORY_WRAP
+        self._history_counter += 1
+        self._history[key] = (history_id, bitmap)
+        self._history_fifo.append((history_id, key))
+        # Lazy pruning keeps the dict bounded at ~history_size entries.
+        while self._history_fifo and is_expired(
+            self._history_counter % HISTORY_WRAP,
+            self._history_fifo[0][0],
+            self.history_size,
+        ):
+            old_id, old_key = self._history_fifo.popleft()
+            if self._history.get(old_key, (None, None))[0] == old_id:
+                del self._history[old_key]
+
+    def _collect_regret(self, key) -> None:
+        if not self.adaptive:
+            return
+        entry = self._history.get(key)
+        if entry is None:
+            return
+        history_id, bitmap = entry
+        counter = self._history_counter % HISTORY_WRAP
+        if is_expired(counter, history_id, self.history_size):
+            return
+        self.regrets += 1
+        self.weights.apply_regret(bitmap, history_age(counter, history_id))

@@ -1,0 +1,45 @@
+"""Ditto's core: the client-centric caching framework and adaptive caching."""
+
+from .adaptive import ExpertWeights, GlobalWeights, bitmap_of
+from .cache import DittoCache, DittoCluster
+from .client import CacheOperationError, DittoClient
+from .config import DittoConfig
+from .fc_cache import FrequencyCounterCache
+from .history import (
+    HISTORY_WRAP,
+    RemoteFifoHistory,
+    history_age,
+    is_expired,
+)
+from .layout import DittoLayout, Slot, stable_hash64
+from .policies import (
+    POLICY_REGISTRY,
+    CachePolicy,
+    Metadata,
+    make_policy,
+    policy_loc,
+)
+
+__all__ = [
+    "CacheOperationError",
+    "CachePolicy",
+    "DittoCache",
+    "DittoClient",
+    "DittoCluster",
+    "DittoConfig",
+    "DittoLayout",
+    "ExpertWeights",
+    "FrequencyCounterCache",
+    "GlobalWeights",
+    "HISTORY_WRAP",
+    "Metadata",
+    "POLICY_REGISTRY",
+    "RemoteFifoHistory",
+    "Slot",
+    "bitmap_of",
+    "history_age",
+    "is_expired",
+    "make_policy",
+    "policy_loc",
+    "stable_hash64",
+]

@@ -1,0 +1,316 @@
+"""Deployment wiring (:class:`DittoCluster`) and the user-facing synchronous
+cache façade (:class:`DittoCache`).
+
+``DittoCluster`` assembles a complete Ditto deployment on simulated
+disaggregated memory: one memory node with a weak controller, the
+sample-friendly hash table and global history counter at its base, a shared
+memory budget (the elastic "memory resource"), and any number of client
+threads in the compute pool.  Experiments drive clusters in *timed* mode
+(clients as concurrent processes under a contended NIC); applications use
+``DittoCache``, which drives one operation at a time to completion (*instant*
+mode) and exposes an ordinary ``get``/``set``/``delete`` API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..memory import (
+    BLOCK_SIZE,
+    ClientAllocator,
+    Controller,
+    MemoryBudget,
+    MemoryNode,
+    MemoryPool,
+    StripedAllocator,
+)
+from ..rdma.params import NetworkParams
+from ..sim import CounterSet, Engine
+from .adaptive import GlobalWeights
+from .client import DittoClient
+from .config import DittoConfig
+from .history import HISTORY_ENTRY_BYTES, RemoteFifoHistory
+from .layout import DittoLayout, object_span
+from .policies import make_policy
+
+
+class DittoCluster:
+    """A Ditto deployment: memory pool + compute-pool clients."""
+
+    def __init__(
+        self,
+        capacity_objects: int = 4096,
+        object_bytes: int = 256,
+        num_clients: int = 1,
+        config: Optional[DittoConfig] = None,
+        params: Optional[NetworkParams] = None,
+        seed: int = 0,
+        segment_bytes: int = 256 * 1024,
+        engine: Optional[Engine] = None,
+        max_capacity_objects: Optional[int] = None,
+        num_memory_nodes: int = 1,
+    ):
+        """``max_capacity_objects`` provisions the memory pool for future
+        elastic growth (default: the initial capacity); ``resize_memory``
+        may grow the budget up to that bound without reprovisioning.
+
+        With ``num_memory_nodes > 1`` the pool spans several MNs: the hash
+        table, history counter, and expert weights live on node 0 and the
+        object heap stripes across all nodes, spreading data-path verbs over
+        every node's NIC (the paper's multi-MN compatibility, §5.1)."""
+        if num_memory_nodes < 1:
+            raise ValueError("need at least one memory node")
+        if capacity_objects < 1:
+            raise ValueError("capacity must be at least one object")
+        self.engine = engine or Engine()
+        self.config = config or DittoConfig()
+        self.params = params or NetworkParams()
+        self.seed = seed
+        self.segment_bytes = segment_bytes
+        self.capacity_objects = capacity_objects
+        self.object_bytes = object_bytes
+
+        # Extension metadata schema: union of the experts' ext fields.
+        self.ext_fields: Tuple[str, ...] = self._ext_schema(self.config.policies)
+
+        # Cache budget: capacity in bytes at the configured object size.
+        est_span = object_span(0, object_bytes, 8 * len(self.ext_fields))
+        self.block_bytes_per_object = (
+            ClientAllocator.blocks_for(est_span) * BLOCK_SIZE
+        )
+        self.budget = MemoryBudget(capacity_objects * self.block_bytes_per_object)
+
+        self.max_capacity_objects = max_capacity_objects or capacity_objects
+        if self.max_capacity_objects < capacity_objects:
+            raise ValueError("max_capacity_objects below initial capacity")
+
+        # Hash-table geometry: slot_factor slots per cached object so live
+        # objects plus unexpired history entries fit comfortably, sized for
+        # the provisioned maximum so memory can grow without re-hashing.
+        total_slots = max(
+            int(self.max_capacity_objects * self.config.slot_factor),
+            2 * DittoLayout.SLOTS_PER_BUCKET,
+        )
+        num_buckets = -(-total_slots // DittoLayout.SLOTS_PER_BUCKET)
+        self.layout = DittoLayout(base=0, num_buckets=num_buckets)
+        self.history_size = self.config.history_size or capacity_objects
+
+        reserve = self.layout.reserved_bytes
+        self.remote_history: Optional[RemoteFifoHistory] = None
+        if not self.config.use_lwh:
+            self.remote_history = RemoteFifoHistory(reserve, self.history_size)
+            reserve += 8 + self.history_size * HISTORY_ENTRY_BYTES
+
+        # Heap: provisioned-maximum bytes plus slack for in-flight segments
+        # and size-class fragmentation, split across the memory nodes.
+        heap_bytes = (
+            2 * self.max_capacity_objects * self.block_bytes_per_object
+            + 2 * max(num_clients, 1) * segment_bytes
+            + (1 << 20)
+        )
+        heap_per_node = -(-heap_bytes // num_memory_nodes)
+        self.nodes = []
+        base = 0
+        for node_id in range(num_memory_nodes):
+            size = heap_per_node + (reserve if node_id == 0 else 0)
+            node = MemoryNode(
+                self.engine, size=size, base=base, node_id=node_id,
+                params=self.params,
+            )
+            Controller(node, cores=1, reserve=reserve if node_id == 0 else 0)
+            self.nodes.append(node)
+            base += size
+        self.node = self.nodes[0]
+        self.pool = MemoryPool(self.nodes)
+        self.controller = self.node.controller
+
+        self.global_weights = GlobalWeights(
+            num_experts=self.config.num_experts,
+            learning_rate=self.config.learning_rate,
+        )
+        self.controller.register(
+            "update_weights", self.global_weights.handle_update, cpu_us=0.5
+        )
+
+        self.counters = CounterSet()
+        self.object_count = 0
+        self.clients: List[DittoClient] = []
+        self.add_clients(num_clients)
+
+    @staticmethod
+    def _ext_schema(policy_names) -> Tuple[str, ...]:
+        fields: List[str] = []
+        for name in policy_names:
+            for field in make_policy(name).ext_fields:
+                if field not in fields:
+                    fields.append(field)
+        return tuple(fields)
+
+    # -- elasticity knobs --------------------------------------------------
+
+    def add_clients(self, n: int) -> List[DittoClient]:
+        """Scale compute: new client threads join with no data movement."""
+        new = [
+            DittoClient(self, client_id=len(self.clients) + i, seed=self.seed)
+            for i in range(n)
+        ]
+        self.clients.extend(new)
+        return new
+
+    def remove_clients(self, n: int) -> None:
+        if n > len(self.clients) - 1:
+            raise ValueError("cannot remove all clients")
+        del self.clients[len(self.clients) - n :]
+
+    def resize_memory(self, capacity_objects: int) -> None:
+        """Scale memory: adjust the budget; no data migration is needed.
+
+        Shrinking leaves the cache temporarily over budget; subsequent
+        inserts evict until usage fits the new limit.  Growth is bounded by
+        the provisioned pool (``max_capacity_objects``).
+        """
+        if capacity_objects > self.max_capacity_objects:
+            raise ValueError(
+                f"cannot grow to {capacity_objects} objects: pool provisioned "
+                f"for {self.max_capacity_objects} (set max_capacity_objects)"
+            )
+        self.capacity_objects = capacity_objects
+        self.budget.resize(capacity_objects * self.block_bytes_per_object)
+
+    # -- aggregated statistics ----------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.clients)
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.clients)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "objects": self.object_count,
+            "evictions": sum(c.evictions for c in self.clients),
+            "regrets": sum(c.regrets for c in self.clients),
+            "used_bytes": self.budget.used_bytes,
+            "limit_bytes": self.budget.limit_bytes,
+            "sim_time_us": self.engine.now,
+            **{k: float(v) for k, v in self.counters.as_dict().items()},
+        }
+
+
+def _to_bytes(data: Union[str, bytes]) -> bytes:
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    raise TypeError(f"keys/values must be str or bytes, got {type(data).__name__}")
+
+
+class DittoCache:
+    """Synchronous cache API over a Ditto deployment (instant mode).
+
+    >>> cache = DittoCache(capacity_objects=1024)
+    >>> cache.set("user:1", b"alice")
+    >>> cache.get("user:1")
+    b'alice'
+
+    Keys and values are ``str`` or ``bytes``.  Operations round-robin across
+    the configured client threads so metadata updates and adaptive weights
+    behave as in a multi-client deployment.
+    """
+
+    def __init__(
+        self,
+        capacity_objects: int = 4096,
+        object_bytes: int = 256,
+        policies: Tuple[str, ...] = ("lru", "lfu"),
+        num_clients: int = 1,
+        seed: int = 0,
+        params: Optional[NetworkParams] = None,
+        max_capacity_objects: Optional[int] = None,
+        num_memory_nodes: int = 1,
+        **config_kwargs,
+    ):
+        config = DittoConfig(policies=tuple(policies), **config_kwargs)
+        self.cluster = DittoCluster(
+            capacity_objects=capacity_objects,
+            object_bytes=object_bytes,
+            num_clients=num_clients,
+            config=config,
+            params=params,
+            seed=seed,
+            max_capacity_objects=max_capacity_objects,
+            num_memory_nodes=num_memory_nodes,
+        )
+        self._next_client = 0
+
+    def _client(self) -> DittoClient:
+        client = self.cluster.clients[self._next_client]
+        self._next_client = (self._next_client + 1) % len(self.cluster.clients)
+        return client
+
+    def _run(self, gen):
+        return self.cluster.engine.run_process(gen)
+
+    # -- cache operations ---------------------------------------------------
+
+    def set(self, key: Union[str, bytes], value: Union[str, bytes]) -> None:
+        self._run(self._client().set(_to_bytes(key), _to_bytes(value)))
+
+    def get(self, key: Union[str, bytes]) -> Optional[bytes]:
+        return self._run(self._client().get(_to_bytes(key)))
+
+    def delete(self, key: Union[str, bytes]) -> bool:
+        return self._run(self._client().delete(_to_bytes(key)))
+
+    def get_or_load(self, key: Union[str, bytes], loader) -> bytes:
+        """Cache-aside helper: on a miss, call ``loader()`` and cache it."""
+        value = self.get(key)
+        if value is None:
+            value = _to_bytes(loader())
+            self.set(key, value)
+        return value
+
+    def __contains__(self, key: Union[str, bytes]) -> bool:
+        # Peek without perturbing hotness: check then compensate is not
+        # possible remotely, so __contains__ is an ordinary Get.
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.cluster.object_count
+
+    # -- elasticity ----------------------------------------------------------
+
+    def scale_clients(self, num_clients: int) -> None:
+        current = len(self.cluster.clients)
+        if num_clients > current:
+            self.cluster.add_clients(num_clients - current)
+        elif num_clients < current:
+            self.cluster.remove_clients(current - num_clients)
+        self._next_client = 0
+
+    def resize(self, capacity_objects: int) -> None:
+        self.cluster.resize_memory(capacity_objects)
+
+    # -- introspection --------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        return self.cluster.hit_rate()
+
+    def stats(self) -> Dict[str, float]:
+        return self.cluster.stats()
+
+    @property
+    def expert_weights(self) -> Dict[str, float]:
+        """Current global expert weights (adaptive caching state)."""
+        return dict(
+            zip(self.cluster.config.policies, self.cluster.global_weights.weights)
+        )

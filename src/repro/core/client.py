@@ -1,0 +1,538 @@
+"""The Ditto client: Get/Set/Delete over one-sided verbs (paper §4).
+
+Each client thread in the compute pool owns a :class:`DittoClient`.  All
+operations are generators driven by the simulation engine; they touch the
+memory pool **only** through RDMA verbs, exactly as the paper's
+client-centric framework requires:
+
+- *Get*: one READ for the bucket, one READ for the object, then asynchronous
+  metadata updates (a WRITE for the stateless timestamps, an FAA for ``freq``
+  — usually absorbed by the frequency-counter cache).
+- *Set*: bucket READ, object WRITE into a freshly allocated block, and a CAS
+  on the slot's atomic field; the 32-byte metadata field follows with one
+  WRITE.
+- *Eviction*: one READ samples ``K`` consecutive slots of the
+  sample-friendly hash table; every expert computes priorities locally; the
+  victim of the weight-chosen expert is retired into an embedded history
+  entry (FAA on the global history counter + CAS on the victim slot).
+- *Regret collection* rides on the Get miss path: history entries in the
+  already-fetched bucket are matched by key hash, ages checked against the
+  cached history counter, and penalties buffered for the lazy weight update.
+
+The ablation switches in :class:`~repro.core.config.DittoConfig` swap these
+fast paths for their naive counterparts (scattered metadata, remote FIFO
+history, per-regret RPCs, no FC cache) to reproduce Figure 24.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..memory import ClientAllocator, StripedAllocator
+from ..memory.node import BLOCK_SIZE
+from ..rdma.verbs import RdmaEndpoint
+from . import layout as L
+from .adaptive import ExpertWeights, bitmap_of
+from .fc_cache import FrequencyCounterCache
+from .history import HISTORY_WRAP, history_age, is_expired
+from .policies import Metadata, make_policy
+
+_U64 = struct.Struct("<Q")
+
+#: Refresh the cached global history counter every this many misses.
+COUNTER_REFRESH_PERIOD = 64
+
+
+class CacheOperationError(RuntimeError):
+    """An operation exhausted its retry budget (extreme contention)."""
+
+
+def encode_ext(fields: Sequence[str], ext: Dict[str, float]) -> bytes:
+    """Serialize extension metadata (8-byte float per declared field)."""
+    return struct.pack(
+        "<%dd" % len(fields), *(ext.get(name, 0.0) for name in fields)
+    )
+
+
+def decode_ext(fields: Sequence[str], raw: bytes) -> Dict[str, float]:
+    values = struct.unpack_from("<%dd" % len(fields), raw)
+    return dict(zip(fields, values))
+
+
+class DittoClient:
+    """One client thread of a Ditto deployment.
+
+    ``cluster`` provides the shared context: engine, layout, memory pool and
+    node, budget, config, counters, global weights RPC, and (for the LWH
+    ablation) the remote FIFO history.  See ``repro.core.cache.DittoCluster``.
+    """
+
+    def __init__(self, cluster, client_id: int, seed: int = 0):
+        self.cluster = cluster
+        self.client_id = client_id
+        self.engine = cluster.engine
+        self.layout = cluster.layout
+        self.config = cluster.config
+        self.budget = cluster.budget
+        self.node = cluster.node
+        self.rng = random.Random((seed * 1_000_003 + client_id) & 0xFFFFFFFF)
+        self.ep = RdmaEndpoint(
+            self.engine, cluster.pool, cluster.params, counters=cluster.counters
+        )
+        self.alloc = StripedAllocator(self.ep, cluster.nodes, cluster.segment_bytes)
+        self.policies = [make_policy(name) for name in self.config.policies]
+        self.ext_fields: Tuple[str, ...] = cluster.ext_fields
+        self.ext_bytes = 8 * len(self.ext_fields)
+        self.weights = ExpertWeights(
+            num_experts=len(self.policies),
+            history_size=cluster.history_size,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.weight_update_batch if self.config.use_lwu else 1,
+            rng=self.rng,
+            selection=self.config.selection,
+        )
+        self.fc = FrequencyCounterCache(
+            capacity_bytes=self.config.fc_capacity_bytes,
+            threshold=self.config.fc_threshold,
+        )
+        self._counter_cache = 0
+        self._counter_fresh = False
+        # -- statistics -----------------------------------------------------
+        self.hits = 0
+        self.misses = 0
+        self.regrets = 0
+        self.evictions = 0
+        self.forced_bucket_evictions = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _now(self) -> int:
+        return int(self.engine.now)
+
+    def _read_bucket(self, bucket: int) -> Generator:
+        """Fetch and parse all slots of a bucket.
+
+        With the sample-friendly hash table this is one READ.  Without it
+        (Figure 24 ablation) the index holds only atomic fields and the
+        access information is scattered with the objects, so the bucket read
+        is smaller but every candidate costs an extra metadata READ later.
+        """
+        lay = self.layout
+        addr = lay.bucket_addr(bucket)
+        span = lay.slots_per_bucket * L.SLOT_SIZE
+        if self.config.use_sfht:
+            raw = yield from self.ep.read(addr, span)
+        else:
+            # atomic fields only; metadata arrives via per-slot reads below.
+            yield from self.ep.read(addr, lay.slots_per_bucket * 8)
+            raw = self.node.read_bytes(addr, span)
+        return L.parse_slots(bucket * lay.slots_per_bucket, addr, raw, lay.slots_per_bucket)
+
+    def _metadata_of(self, slot: L.Slot, ext: Optional[Dict[str, float]] = None) -> Metadata:
+        return Metadata(
+            size=slot.object_bytes,
+            insert_ts=slot.insert_ts,
+            last_ts=slot.last_ts,
+            freq=slot.freq,
+            ext=ext if ext is not None else {},
+        )
+
+    def _read_ext(self, slot: L.Slot) -> Generator:
+        """Fetch extension metadata stored ahead of the object (§4.4)."""
+        raw = yield from self.ep.read(
+            slot.pointer + L.OBJECT_HEADER_SIZE, self.ext_bytes
+        )
+        return decode_ext(self.ext_fields, raw)
+
+    def _touch(self, key: bytes, slot: L.Slot, ext_raw: bytes) -> None:
+        """Asynchronous metadata updates after a hit (off the critical path)."""
+        now = self._now()
+        self.ep.post_write(slot.addr + L.LAST_TS_OFF, _U64.pack(now))
+        if not self.config.use_sfht:
+            # Un-grouped access information: a second WRITE per update.
+            self.ep.post_write(slot.addr + L.INSERT_TS_OFF, _U64.pack(slot.insert_ts))
+        for addr, delta in self.fc.record(key, slot.addr + L.FREQ_OFF, self.engine.now):
+            self.ep.post_faa(addr, delta)
+        if self.ext_fields:
+            ext = decode_ext(self.ext_fields, ext_raw) if ext_raw else {}
+            meta = self._metadata_of(slot, ext)
+            meta.freq += 1
+            for policy in self.policies:
+                policy.update(meta, now)
+            self.ep.post_write(
+                slot.pointer + L.OBJECT_HEADER_SIZE,
+                encode_ext(self.ext_fields, meta.ext),
+            )
+
+    # ------------------------------------------------------------------
+    # Get
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> Generator:
+        """Look up ``key``; returns the value bytes or None on a miss."""
+        key_hash = L.stable_hash64(key)
+        fp = L.fingerprint(key_hash)
+        bucket = self.layout.bucket_index(key_hash)
+        slots = yield from self._read_bucket(bucket)
+        for slot in slots:
+            if not (slot.is_object and slot.fp == fp):
+                continue
+            raw = yield from self.ep.read(slot.pointer, slot.object_bytes)
+            try:
+                found_key, value, ext_raw = L.decode_object(raw)
+            except (ValueError, struct.error):
+                continue  # lost a race with a concurrent rewrite of the block
+            if found_key == key:
+                self._touch(key, slot, ext_raw)
+                self.hits += 1
+                return value
+        yield from self._handle_miss(slots, key_hash)
+        self.misses += 1
+        return None
+
+    def _handle_miss(self, slots: List[L.Slot], key_hash: int) -> Generator:
+        """Regret collection on the miss path (paper §4.3.1)."""
+        if not self.config.adaptive:
+            return
+        if self.config.use_lwh:
+            if (
+                not self._counter_fresh
+                or (self.misses % COUNTER_REFRESH_PERIOD) == 0
+            ):
+                raw = yield from self.ep.read(self.layout.history_counter_addr, 8)
+                self._counter_cache = _U64.unpack(raw)[0] % HISTORY_WRAP
+                self._counter_fresh = True
+            for slot in slots:
+                if not slot.is_history or slot.key_hash != key_hash:
+                    continue
+                if is_expired(
+                    self._counter_cache, slot.history_id, self.cluster.history_size
+                ):
+                    continue
+                age = history_age(self._counter_cache, slot.history_id)
+                # Mask to the expert count: the bitmap write is asynchronous,
+                # so a just-retired entry can briefly expose a stale word.
+                mask = (1 << len(self.policies)) - 1
+                yield from self._apply_regret(slot.expert_bitmap & mask, age)
+                break
+        else:
+            # Remote FIFO history (ablation): every miss pays an index READ.
+            remote = self.cluster.remote_history
+            yield from self.ep.read(remote.tail_addr, 8)
+            entry = remote.lookup(key_hash)
+            if entry is not None:
+                history_id, bitmap = entry
+                yield from self.ep.read(remote.entry_addr(history_id), 40)
+                yield from self._apply_regret(bitmap, 0)
+
+    def _apply_regret(self, expert_bitmap: int, age: int) -> Generator:
+        self.regrets += 1
+        if self.weights.apply_regret(expert_bitmap, age):
+            sums = self.weights.take_pending()
+            new_weights = yield from self.ep.rpc(
+                self.node, "update_weights", sums, size=8 * len(sums)
+            )
+            self.weights.set_weights(new_weights)
+
+    # ------------------------------------------------------------------
+    # Set
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> Generator:
+        """Insert or update ``key``; evicts as needed to make room."""
+        for _attempt in range(self.config.max_retries):
+            done = yield from self._try_set(key, value)
+            if done:
+                return True
+        raise CacheOperationError(f"set({key!r}) exhausted retries")
+
+    def _initial_ext(self, size_bytes: int, now: int) -> bytes:
+        if not self.ext_fields:
+            return b""
+        meta = Metadata(size=size_bytes, insert_ts=now, last_ts=now, freq=1)
+        for policy in self.policies:
+            policy.on_insert(meta, now)
+        return encode_ext(self.ext_fields, meta.ext)
+
+    def _try_set(self, key: bytes, value: bytes) -> Generator:
+        key_hash = L.stable_hash64(key)
+        fp = L.fingerprint(key_hash)
+        bucket = self.layout.bucket_index(key_hash)
+        now = self._now()
+        slots = yield from self._read_bucket(bucket)
+
+        # Update in place if the key is already cached.  The 64-bit key hash
+        # in the slot metadata identifies the key without fetching the object,
+        # keeping Sets at the paper's three RTTs (READ, WRITE, CAS); a zero
+        # hash means the insert's metadata write has not landed yet, so fall
+        # back to reading the object.
+        for slot in slots:
+            if not (slot.is_object and slot.fp == fp):
+                continue
+            if slot.key_hash != key_hash:
+                if slot.key_hash != 0:
+                    continue
+                raw = yield from self.ep.read(slot.pointer, slot.object_bytes)
+                try:
+                    found_key, _old_value, _ext = L.decode_object(raw)
+                except (ValueError, struct.error):
+                    continue
+                if found_key != key:
+                    continue
+            ext_raw = b""
+            if self.ext_fields:
+                raw = yield from self.ep.read(
+                    slot.pointer + L.OBJECT_HEADER_SIZE, self.ext_bytes
+                )
+                ext_raw = raw
+            done = yield from self._update_object(key, value, slot, ext_raw)
+            return done
+
+        # Fresh insert.
+        span = L.object_span(len(key), len(value), self.ext_bytes)
+        block_bytes = ClientAllocator.blocks_for(span) * BLOCK_SIZE
+        if ClientAllocator.blocks_for(span) > L.MAX_SIZE_BLOCKS:
+            raise ValueError(f"object too large for the slot size field: {span}B")
+        yield from self._ensure_space(block_bytes)
+        addr = yield from self.alloc.alloc(span)
+        ext = self._initial_ext(block_bytes, now)
+        yield from self.ep.write(addr, L.encode_object(key, value, ext))
+        new_atomic = L.pack_atomic(addr, fp, ClientAllocator.blocks_for(span))
+        done = yield from self._claim_slot(bucket, slots, new_atomic, key_hash, now)
+        if not done:
+            self.alloc.free(addr, span)
+            self.budget.release(block_bytes)
+        return done
+
+    def _update_object(
+        self, key: bytes, value: bytes, slot: L.Slot, ext_raw: bytes
+    ) -> Generator:
+        """Replace the value of an existing key (out-of-place + CAS)."""
+        span = L.object_span(len(key), len(value), self.ext_bytes)
+        block_bytes = ClientAllocator.blocks_for(span) * BLOCK_SIZE
+        yield from self._ensure_space(block_bytes)
+        addr = yield from self.alloc.alloc(span)
+        yield from self.ep.write(addr, L.encode_object(key, value, ext_raw))
+        new_atomic = L.pack_atomic(addr, slot.fp, ClientAllocator.blocks_for(span))
+        old = yield from self.ep.cas(slot.addr, slot.atomic, new_atomic)
+        if old != slot.atomic:
+            self.alloc.free(addr, span)
+            self.budget.release(block_bytes)
+            return False
+        self.alloc.free(slot.pointer, slot.object_bytes)
+        self.budget.release(slot.object_bytes)
+        self._touch(key, slot, ext_raw)
+        return True
+
+    def _claim_slot(
+        self,
+        bucket: int,
+        slots: List[L.Slot],
+        new_atomic: int,
+        key_hash: int,
+        now: int,
+    ) -> Generator:
+        """Install ``new_atomic`` into a free/expired/evictable bucket slot."""
+        target = self._pick_insert_slot(slots)
+        if target is None:
+            done = yield from self._forced_bucket_eviction(slots, new_atomic, key_hash, now)
+            return done
+        old = yield from self.ep.cas(target.addr, target.atomic, new_atomic)
+        if old != target.atomic:
+            return False
+        self.ep.post_write(
+            target.addr + L.INSERT_TS_OFF, L.pack_metadata(now, now, 1, key_hash)
+        )
+        self.cluster.object_count += 1
+        return True
+
+    def _pick_insert_slot(self, slots: List[L.Slot]) -> Optional[L.Slot]:
+        """Empty slot, else the most-expired history entry, else oldest one."""
+        empty = next((s for s in slots if s.is_empty), None)
+        if empty is not None:
+            return empty
+        histories = [s for s in slots if s.is_history]
+        if not histories:
+            return None
+        counter = self._counter_cache
+        expired = [
+            s
+            for s in histories
+            if is_expired(counter, s.history_id, self.cluster.history_size)
+        ]
+        pool = expired or histories
+        return max(pool, key=lambda s: history_age(counter, s.history_id))
+
+    def _forced_bucket_eviction(
+        self, slots: List[L.Slot], new_atomic: int, key_hash: int, now: int
+    ) -> Generator:
+        """All slots hold live objects: evict within the bucket, replace directly.
+
+        The victim's history entry is skipped (there is nowhere to put it);
+        this is rare with the default slot factor and is counted for
+        observability.
+        """
+        objects = [s for s in slots if s.is_object]
+        if not objects:
+            return False
+        victim, _bitmap, meta = yield from self._choose_victim(objects)
+        old = yield from self.ep.cas(victim.addr, victim.atomic, new_atomic)
+        if old != victim.atomic:
+            return False
+        self.forced_bucket_evictions += 1
+        self._account_eviction(victim, meta, now)
+        self.ep.post_write(
+            victim.addr + L.INSERT_TS_OFF, L.pack_metadata(now, now, 1, key_hash)
+        )
+        self.cluster.object_count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _ensure_space(self, nbytes: int) -> Generator:
+        consecutive_failures = 0
+        while not self.budget.try_consume(nbytes):
+            if nbytes > self.budget.limit_bytes:
+                raise ValueError(f"object of {nbytes}B exceeds the cache budget")
+            evicted = yield from self._evict_once()
+            if evicted:
+                consecutive_failures = 0
+            else:
+                consecutive_failures += 1
+                if consecutive_failures > self.config.max_retries:
+                    raise CacheOperationError(
+                        "cannot reclaim space (eviction storm)"
+                    )
+
+    def _sample_slots(self) -> Generator:
+        """Sample ``K`` slots for eviction.
+
+        SFHT: one READ of K *consecutive* slots at a random offset.  Without
+        SFHT: K scattered slot READs plus K metadata READs (the cost the
+        co-designed table removes).
+        """
+        lay = self.layout
+        k = min(self.config.sample_size, lay.total_slots)
+        if self.config.use_sfht:
+            start = self.rng.randrange(lay.total_slots - k + 1)
+            raw = yield from self.ep.read(lay.slot_addr(start), k * L.SLOT_SIZE)
+            return L.parse_slots(start, lay.slot_addr(start), raw, k)
+        slots = []
+        for _ in range(k):
+            index = self.rng.randrange(lay.total_slots)
+            addr = lay.slot_addr(index)
+            yield from self.ep.read(addr, 8)  # atomic field
+            yield from self.ep.read(addr + 8, L.SLOT_SIZE - 8)  # scattered metadata
+            raw = self.node.read_bytes(addr, L.SLOT_SIZE)
+            slots.append(L.parse_slot(index, addr, raw))
+        return slots
+
+    def _choose_victim(self, objects: List[L.Slot]) -> Generator:
+        """Run every expert's priority function; pick by expert weights.
+
+        Returns (victim_slot, expert_bitmap, victim_metadata).
+        """
+        now = self._now()
+        metas: Dict[int, Metadata] = {}
+        for slot in objects:
+            if self.ext_fields:
+                ext = yield from self._read_ext(slot)
+            else:
+                ext = {}
+            metas[slot.index] = self._metadata_of(slot, ext)
+        candidates = []
+        for policy in self.policies:
+            best = min(objects, key=lambda s: policy.priority(metas[s.index], now))
+            candidates.append(best.index)
+        choice = self.weights.choose() if self.config.adaptive else 0
+        victim_index = candidates[choice]
+        victim = next(s for s in objects if s.index == victim_index)
+        bitmap = bitmap_of(candidates, victim_index)
+        return victim, bitmap, metas[victim_index]
+
+    def _evict_once(self) -> Generator:
+        """One sampled eviction; True on success."""
+        for _attempt in range(self.config.max_retries):
+            slots = yield from self._sample_slots()
+            objects = [s for s in slots if s.is_object]
+            if not objects:
+                continue
+            victim, bitmap, meta = yield from self._choose_victim(objects)
+            done = yield from self._retire(victim, bitmap, meta)
+            if done:
+                return True
+        return False
+
+    def _retire(self, victim: L.Slot, bitmap: int, meta: Metadata) -> Generator:
+        """Turn the victim's slot into a history entry and free its block."""
+        now = self._now()
+        if self.config.use_lwh:
+            old_counter = yield from self.ep.faa(self.layout.history_counter_addr, 1)
+            self._counter_cache = (old_counter + 1) % HISTORY_WRAP
+            self._counter_fresh = True
+            history_id = old_counter % HISTORY_WRAP
+            new_atomic = L.pack_history_atomic(history_id)
+            prev = yield from self.ep.cas(victim.addr, victim.atomic, new_atomic)
+            if prev != victim.atomic:
+                return False
+            # Expert bitmap rides in the insert_ts word; the key hash already
+            # sits in the slot's hash field from insertion time (Fig. 9).
+            self.ep.post_write(victim.addr + L.INSERT_TS_OFF, _U64.pack(bitmap))
+        else:
+            remote = self.cluster.remote_history
+            old_counter = yield from self.ep.faa(remote.tail_addr, 1)
+            yield from self.ep.write(remote.entry_addr(old_counter), bytes(40))
+            prev = yield from self.ep.cas(victim.addr, victim.atomic, 0)
+            if prev != victim.atomic:
+                return False
+            remote.insert(victim.key_hash, old_counter, bitmap)
+        self._account_eviction(victim, meta, now)
+        return True
+
+    def _account_eviction(self, victim: L.Slot, meta: Metadata, now: int) -> None:
+        self.alloc.free(victim.pointer, victim.object_bytes)
+        self.budget.release(victim.object_bytes)
+        self.cluster.object_count -= 1
+        self.evictions += 1
+        for policy in self.policies:
+            policy.on_evict(meta, now)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: bytes) -> Generator:
+        """Remove ``key``; returns True if it was cached."""
+        key_hash = L.stable_hash64(key)
+        fp = L.fingerprint(key_hash)
+        bucket = self.layout.bucket_index(key_hash)
+        for _attempt in range(self.config.max_retries):
+            slots = yield from self._read_bucket(bucket)
+            match = None
+            for slot in slots:
+                if not (slot.is_object and slot.fp == fp):
+                    continue
+                raw = yield from self.ep.read(slot.pointer, slot.object_bytes)
+                try:
+                    found_key, _value, _ext = L.decode_object(raw)
+                except (ValueError, struct.error):
+                    continue
+                if found_key == key:
+                    match = slot
+                    break
+            if match is None:
+                return False
+            old = yield from self.ep.cas(match.addr, match.atomic, 0)
+            if old != match.atomic:
+                continue
+            self.alloc.free(match.pointer, match.object_bytes)
+            self.budget.release(match.object_bytes)
+            self.cluster.object_count -= 1
+            return True
+        raise CacheOperationError(f"delete({key!r}) exhausted retries")

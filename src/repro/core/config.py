@@ -1,0 +1,65 @@
+"""Configuration of a Ditto deployment (paper §5.1 "Parameters")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class DittoConfig:
+    """Tunables of the client-centric framework and adaptive caching.
+
+    Defaults follow the paper: 5 eviction samples (Redis default), FC cache
+    threshold 10 with a 10 MB budget, learning rate 0.1, global weight sync
+    every 100 local regrets, history size equal to the cache size in objects.
+    """
+
+    #: Caching algorithms run as adaptive experts.
+    policies: Tuple[str, ...] = ("lru", "lfu")
+    #: Objects sampled per eviction.
+    sample_size: int = 5
+    #: Eviction-history length in entries; 0 means "equal to capacity".
+    history_size: int = 0
+    #: FC cache flush threshold t (1 disables combining).
+    fc_threshold: int = 10
+    #: FC cache size in bytes.
+    fc_capacity_bytes: int = 10 * 1024 * 1024
+    #: Regret-minimization learning rate λ.
+    learning_rate: float = 0.1
+    #: Eviction-decision strategy: "proportional" (the paper's weight-
+    #: proportional choice) or "greedy" (ε-greedy extension, see
+    #: ExpertWeights.SELECTION_MODES).
+    selection: str = "proportional"
+    #: Local regrets buffered before a lazy global weight update RPC.
+    weight_update_batch: int = 100
+    #: Retry cap for CAS races and empty samples before an operation fails.
+    max_retries: int = 16
+    #: Hash-table slots allocated per cached object (object + history + slack).
+    slot_factor: float = 4.0
+
+    # -- ablation switches (Figure 24) ------------------------------------
+    #: Sample-friendly hash table: metadata in slots, 1-READ sampling.
+    use_sfht: bool = True
+    #: Lightweight (embedded) eviction history vs. a remote FIFO queue.
+    use_lwh: bool = True
+    #: Lazy (batched, compressed) weight updates vs. per-regret RPCs.
+    use_lwu: bool = True
+    #: Frequency-counter cache vs. one FAA per access.
+    use_fc: bool = True
+    #: Adaptive caching at all (False = single fixed policy).
+    adaptive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        if self.sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        if len(self.policies) == 1:
+            self.adaptive = False
+        if not self.use_fc:
+            self.fc_threshold = 1
+
+    @property
+    def num_experts(self) -> int:
+        return len(self.policies)

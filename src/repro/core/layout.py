@@ -1,0 +1,244 @@
+"""Byte layouts of the sample-friendly hash table (paper Figs. 7 and 9).
+
+Each hash-table slot is 40 bytes:
+
+=======  ====  =====================================================
+offset   size  field
+=======  ====  =====================================================
+0        8     **atomic field**, CASed as one u64:
+               bits 0-47 pointer, 48-55 fp, 56-63 size (64 B blocks)
+8        8     insert_ts   (stateless; expert bitmap for history entries)
+16       8     last_ts     (stateless)
+24       8     freq        (stateful, updated with FAA)
+32       8     key hash    (for regret matching against history entries)
+=======  ====  =====================================================
+
+The two stateless timestamps are contiguous so one RDMA_WRITE updates both;
+``freq`` sits on its own word so RDMA_FAA can bump it.  A slot whose atomic
+field is zero is empty.  A slot whose size byte is ``0xFF`` is an *embedded
+history entry*: the pointer field then carries a 48-bit history ID and the
+``insert_ts`` word carries the expert bitmap (Fig. 9).
+
+Objects in the heap are ``8-byte header | extension metadata | key | value``;
+the header records the three lengths.  Object sizes are measured in 64-byte
+blocks, matching the slot's one-byte size field (max 254 blocks; 255 = 0xFF
+is the history tag and 0 means empty).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+from ..memory.node import BLOCK_SIZE
+
+SLOT_SIZE = 40
+ATOMIC_OFF = 0
+INSERT_TS_OFF = 8
+LAST_TS_OFF = 16
+FREQ_OFF = 24
+HASH_OFF = 32
+#: insert_ts + last_ts: the stateless group updated by a single WRITE.
+STATELESS_OFF = INSERT_TS_OFF
+STATELESS_SIZE = 16
+
+POINTER_BITS = 48
+POINTER_MASK = (1 << POINTER_BITS) - 1
+HISTORY_SIZE_TAG = 0xFF
+MAX_SIZE_BLOCKS = 0xFE
+
+_HEADER = struct.Struct("<HIH")  # key length, value length, extension length
+OBJECT_HEADER_SIZE = _HEADER.size
+_U64 = struct.Struct("<Q")
+
+
+def stable_hash64(key: bytes) -> int:
+    """Deterministic 64-bit key hash (stable across runs and processes)."""
+    return _U64.unpack(hashlib.blake2b(key, digest_size=8).digest())[0]
+
+
+def fingerprint(key_hash: int) -> int:
+    """1-byte fp stored in the atomic field to filter slot candidates."""
+    fp = (key_hash >> 48) & 0xFF
+    return fp or 1  # never 0, so a non-empty slot has a non-zero atomic field
+
+
+def pack_atomic(pointer: int, fp: int, size_blocks: int) -> int:
+    if pointer & ~POINTER_MASK:
+        raise ValueError(f"pointer {pointer:#x} exceeds 48 bits")
+    if not 0 <= fp <= 0xFF or not 0 <= size_blocks <= 0xFF:
+        raise ValueError("fp and size must fit one byte")
+    return pointer | (fp << 48) | (size_blocks << 56)
+
+
+def unpack_atomic(value: int):
+    """Returns (pointer, fp, size_blocks)."""
+    return value & POINTER_MASK, (value >> 48) & 0xFF, (value >> 56) & 0xFF
+
+
+def pack_history_atomic(history_id: int) -> int:
+    """Atomic field of an embedded history entry (size byte = 0xFF)."""
+    return pack_atomic(history_id & POINTER_MASK, 0, HISTORY_SIZE_TAG)
+
+
+class Slot:
+    """A parsed hash-table slot (either a cached object or a history entry)."""
+
+    __slots__ = ("index", "addr", "atomic", "insert_ts", "last_ts", "freq", "key_hash")
+
+    def __init__(
+        self,
+        index: int,
+        addr: int,
+        atomic: int,
+        insert_ts: int,
+        last_ts: int,
+        freq: int,
+        key_hash: int,
+    ):
+        self.index = index
+        self.addr = addr
+        self.atomic = atomic
+        self.insert_ts = insert_ts
+        self.last_ts = last_ts
+        self.freq = freq
+        self.key_hash = key_hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "empty" if self.is_empty else ("history" if self.is_history else "object")
+        return f"Slot(index={self.index}, kind={kind}, atomic={self.atomic:#x})"
+
+    @property
+    def pointer(self) -> int:
+        return self.atomic & POINTER_MASK
+
+    @property
+    def fp(self) -> int:
+        return (self.atomic >> 48) & 0xFF
+
+    @property
+    def size_blocks(self) -> int:
+        return (self.atomic >> 56) & 0xFF
+
+    @property
+    def is_empty(self) -> bool:
+        return self.atomic == 0
+
+    @property
+    def is_history(self) -> bool:
+        return self.size_blocks == HISTORY_SIZE_TAG
+
+    @property
+    def is_object(self) -> bool:
+        return not self.is_empty and not self.is_history
+
+    @property
+    def history_id(self) -> int:
+        return self.pointer
+
+    @property
+    def expert_bitmap(self) -> int:
+        """History entries reuse the insert_ts word for the expert bitmap."""
+        return self.insert_ts
+
+    @property
+    def object_bytes(self) -> int:
+        return self.size_blocks * BLOCK_SIZE
+
+
+def parse_slot(index: int, addr: int, raw: bytes, offset: int = 0) -> Slot:
+    atomic, insert_ts, last_ts, freq, key_hash = struct.unpack_from(
+        "<QQQQQ", raw, offset
+    )
+    return Slot(index, addr, atomic, insert_ts, last_ts, freq, key_hash)
+
+
+def parse_slots(base_index: int, base_addr: int, raw: bytes, count: int) -> list:
+    """Parse ``count`` consecutive slots with one struct call (hot path)."""
+    words = struct.unpack_from("<%dQ" % (count * 5), raw)
+    return [
+        Slot(
+            base_index + i,
+            base_addr + i * SLOT_SIZE,
+            words[j],
+            words[j + 1],
+            words[j + 2],
+            words[j + 3],
+            words[j + 4],
+        )
+        for i, j in zip(range(count), range(0, count * 5, 5))
+    ]
+
+
+def pack_metadata(insert_ts: int, last_ts: int, freq: int, key_hash: int) -> bytes:
+    """The 32-byte metadata field written on insert (one RDMA_WRITE)."""
+    return struct.pack("<QQQQ", insert_ts, last_ts, freq, key_hash)
+
+
+def encode_object(key: bytes, value: bytes, ext: bytes = b"") -> bytes:
+    if len(key) > 0xFFFF or len(ext) > 0xFFFF or len(value) > 0xFFFFFFFF:
+        raise ValueError("object component too large")
+    return _HEADER.pack(len(key), len(value), len(ext)) + ext + key + value
+
+
+def decode_object(raw: bytes):
+    """Returns (key, value, ext); ``raw`` may include trailing block padding."""
+    klen, vlen, elen = _HEADER.unpack_from(raw)
+    start = OBJECT_HEADER_SIZE
+    ext = bytes(raw[start : start + elen])
+    key = bytes(raw[start + elen : start + elen + klen])
+    value = bytes(raw[start + elen + klen : start + elen + klen + vlen])
+    if len(key) != klen or len(value) != vlen:
+        raise ValueError("truncated object")
+    return key, value, ext
+
+
+def object_span(key_len: int, value_len: int, ext_len: int = 0) -> int:
+    """Total heap bytes for an object before block rounding."""
+    return OBJECT_HEADER_SIZE + ext_len + key_len + value_len
+
+
+class DittoLayout:
+    """Address map of Ditto's fixed structures at the base of a memory node.
+
+    ``[history counter | expert weights | hash table | heap ...]``
+    """
+
+    SLOTS_PER_BUCKET = 8
+    WEIGHTS_SLOTS = 16  # reserved space for up to 16 expert weights
+
+    def __init__(self, base: int, num_buckets: int, slots_per_bucket: int = 0):
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.base = base
+        self.num_buckets = num_buckets
+        self.slots_per_bucket = slots_per_bucket or self.SLOTS_PER_BUCKET
+        self.history_counter_addr = base
+        self.weights_addr = base + 8
+        table_start = base + 8 + 8 * self.WEIGHTS_SLOTS
+        self.table_addr = (table_start + 63) // 64 * 64  # cache-line align
+        self.total_slots = self.num_buckets * self.slots_per_bucket
+
+    @property
+    def table_bytes(self) -> int:
+        return self.total_slots * SLOT_SIZE
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes at the node base not available to the heap allocator."""
+        return (self.table_addr + self.table_bytes) - self.base
+
+    def bucket_index(self, key_hash: int) -> int:
+        return key_hash % self.num_buckets
+
+    def bucket_addr(self, bucket: int) -> int:
+        return self.table_addr + bucket * self.slots_per_bucket * SLOT_SIZE
+
+    def slot_addr(self, slot_index: int) -> int:
+        if not 0 <= slot_index < self.total_slots:
+            raise IndexError(f"slot index {slot_index} out of range")
+        return self.table_addr + slot_index * SLOT_SIZE
+
+    def slot_index(self, bucket: int, position: int) -> int:
+        return bucket * self.slots_per_bucket + position

@@ -1,0 +1,17 @@
+"""The memory pool: memory nodes, controllers, and client-side allocation."""
+
+from .allocator import ClientAllocator, MemoryBudget, StripedAllocator
+from .controller import Controller, OutOfMemoryError
+from .node import BLOCK_SIZE, MemoryAccessError, MemoryNode, MemoryPool
+
+__all__ = [
+    "BLOCK_SIZE",
+    "ClientAllocator",
+    "Controller",
+    "MemoryAccessError",
+    "MemoryBudget",
+    "MemoryNode",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "StripedAllocator",
+]

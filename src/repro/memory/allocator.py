@@ -1,0 +1,178 @@
+"""Client-side fine-grained allocation (two-level memory management).
+
+Following FUSEE, clients obtain coarse *segments* from the MN controller via
+RPC (infrequent, off the critical path) and carve them locally into 64-byte
+blocks.  Frees return blocks to the freeing client's local free lists; since
+every block lives in shared remote memory, any client may reuse any address,
+so no cross-client coordination is needed.
+
+:class:`MemoryBudget` is the cache-capacity ledger.  Real Ditto discovers
+"cache full" when allocation fails against the configured memory limit;
+clients here consult a shared budget object at zero simulated cost, which
+models the client-cached quota a real deployment distributes out of band.
+Shrinking the budget (elastic memory scale-down) makes the cache evict on the
+next inserts until usage fits, with no data migration — the DM property the
+paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from ..rdma.verbs import RdmaEndpoint
+from .controller import OutOfMemoryError
+from .node import BLOCK_SIZE, MemoryNode
+
+
+class MemoryBudget:
+    """Shared accounting of cache memory: the elastic "memory resource"."""
+
+    def __init__(self, limit_bytes: int):
+        if limit_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.limit_bytes = limit_bytes
+        self.used_bytes = 0
+
+    def try_consume(self, nbytes: int) -> bool:
+        if self.used_bytes + nbytes > self.limit_bytes:
+            return False
+        self.used_bytes += nbytes
+        return True
+
+    def release(self, nbytes: int) -> None:
+        self.used_bytes -= nbytes
+        if self.used_bytes < 0:
+            raise RuntimeError("memory budget released more than consumed")
+
+    def resize(self, limit_bytes: int) -> None:
+        """Elastically grow or shrink the cache's memory allowance."""
+        if limit_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.limit_bytes = limit_bytes
+
+    @property
+    def over_limit(self) -> bool:
+        return self.used_bytes > self.limit_bytes
+
+
+class ClientAllocator:
+    """Per-client block allocator over controller-granted segments."""
+
+    def __init__(
+        self,
+        endpoint: RdmaEndpoint,
+        node: MemoryNode,
+        segment_bytes: int = 1 << 20,
+    ):
+        if segment_bytes % BLOCK_SIZE:
+            raise ValueError("segment size must be a multiple of the block size")
+        self.endpoint = endpoint
+        self.node = node
+        self.segment_bytes = segment_bytes
+        self._bump_addr: Optional[int] = None
+        self._bump_end = 0
+        # free lists keyed by size in blocks
+        self._free: Dict[int, List[int]] = {}
+
+    @staticmethod
+    def blocks_for(nbytes: int) -> int:
+        """Object size in 64 B blocks (the unit the slot's size byte records)."""
+        return max(1, (nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE)
+
+    def try_alloc_free(self, nbytes: int) -> Optional[int]:
+        """Pop a recycled block run of the right size class, if any."""
+        bucket = self._free.get(self.blocks_for(nbytes))
+        if bucket:
+            return bucket.pop()
+        return None
+
+    def alloc(self, nbytes: int) -> Generator:
+        """Allocate ``nbytes`` (rounded to blocks); returns the address.
+
+        Served from local free lists or the current segment without network
+        traffic; falls back to an ALLOC RPC for a fresh segment.
+        """
+        recycled = self.try_alloc_free(nbytes)
+        if recycled is not None:
+            return recycled
+        nblocks = self.blocks_for(nbytes)
+        size = nblocks * BLOCK_SIZE
+        if self._bump_addr is None or self._bump_addr + size > self._bump_end:
+            want = max(self.segment_bytes, size)
+            addr = yield from self.endpoint.rpc(self.node, "alloc_segment", want)
+            self._bump_addr = addr
+            self._bump_end = addr + want
+        addr = self._bump_addr
+        self._bump_addr += size
+        return addr
+
+    def free(self, addr: int, nbytes: int) -> None:
+        """Return a block run to the local free list (no network traffic)."""
+        self._free[self.blocks_for(nbytes)] = self._free.get(
+            self.blocks_for(nbytes), []
+        )
+        self._free[self.blocks_for(nbytes)].append(addr)
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(size * len(addrs) for size, addrs in self._free.items())
+
+
+class StripedAllocator:
+    """Client-side allocation across several memory nodes.
+
+    Segments are taken from the nodes round-robin, spreading objects (and
+    therefore data-path READs/WRITEs) over every node's NIC; frees route back
+    to the owning node's allocator by address.  This is how Ditto uses a
+    memory pool with multiple MNs: the pool only needs ALLOC/FREE plus the
+    one-sided verbs (paper §2.2).
+    """
+
+    def __init__(self, endpoint, nodes, segment_bytes: int = 1 << 20):
+        if not nodes:
+            raise ValueError("need at least one memory node")
+        self._allocators = [
+            ClientAllocator(endpoint, node, segment_bytes) for node in nodes
+        ]
+        self._nodes = list(nodes)
+        self._next = 0
+
+    blocks_for = staticmethod(ClientAllocator.blocks_for)
+
+    def alloc(self, nbytes: int) -> Generator:
+        # Recycled blocks first, wherever they live: reuse beats fresh
+        # segments regardless of the striping cursor.
+        for allocator in self._allocators:
+            recycled = allocator.try_alloc_free(nbytes)
+            if recycled is not None:
+                return recycled
+        last_error: Optional[Exception] = None
+        for _ in range(len(self._allocators)):
+            allocator = self._allocators[self._next]
+            self._next = (self._next + 1) % len(self._allocators)
+            try:
+                addr = yield from allocator.alloc(nbytes)
+                return addr
+            except OutOfMemoryError as error:
+                last_error = error
+        raise last_error if last_error else OutOfMemoryError("no memory nodes")
+
+    def free(self, addr: int, nbytes: int) -> None:
+        for node, allocator in zip(self._nodes, self._allocators):
+            if node.contains(addr, 1):
+                allocator.free(addr, nbytes)
+                return
+        raise ValueError(f"address {addr} not owned by any node")
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(a.free_blocks for a in self._allocators)
+
+
+__all__ = [
+    "BLOCK_SIZE",
+    "ClientAllocator",
+    "MemoryBudget",
+    "OutOfMemoryError",
+    "StripedAllocator",
+]

@@ -1,0 +1,105 @@
+"""Memory-node controllers: weak compute serving management RPCs.
+
+The controller owns the MN's CPU cores (1 by default, per the paper's
+testbed) as a simulated :class:`Resource`.  RPC handlers are registered with a
+CPU cost — a constant or a ``cost(payload) -> us`` callable — and the handler
+function runs at the *end* of its CPU service window, so its side effects
+linearize at a single simulated instant.
+
+Built-in handlers implement the coarse level of the two-level memory
+management scheme (segment ALLOC/FREE); Ditto's adaptive module and the
+CliqueMap baseline register their own handlers on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple, Union
+
+from ..sim import Engine, Resource, Timeout
+from .node import BLOCK_SIZE, MemoryNode
+
+CostSpec = Union[float, Callable[[object], float]]
+
+
+class OutOfMemoryError(RuntimeError):
+    """The memory node cannot satisfy a segment allocation."""
+
+
+class Controller:
+    """The weak-compute controller attached to a memory node."""
+
+    #: Default CPU cost of a trivial handler, on top of dispatch cost.
+    DEFAULT_HANDLER_CPU_US = 0.5
+
+    def __init__(self, node: MemoryNode, cores: int = 1, reserve: int = 0):
+        """``reserve`` bytes at the node base are kept for fixed structures
+        (hash table, global counters) and never handed to segment allocation.
+        """
+        self.node = node
+        self.engine: Engine = node.engine
+        self.cpu = Resource(self.engine, cores)
+        self._handlers: Dict[str, Tuple[Callable, CostSpec]] = {}
+        # Segment allocation state (coarse level of two-level management).
+        self._next_free = node.base + reserve
+        self._free_segments: Dict[int, list] = {}  # size -> [addr, ...]
+        node.controller = self
+        self.register("alloc_segment", self._alloc_segment)
+        self.register("free_segment", self._free_segment)
+
+    @property
+    def cores(self) -> int:
+        return self.cpu.capacity
+
+    def set_cores(self, cores: int) -> None:
+        """Elastically adjust MN-side compute (Figure 15)."""
+        self.cpu.set_capacity(cores)
+
+    def register(self, op: str, fn: Callable, cpu_us: Optional[CostSpec] = None) -> None:
+        if cpu_us is None:
+            cpu_us = self.DEFAULT_HANDLER_CPU_US
+        self._handlers[op] = (fn, cpu_us)
+
+    def serve(self, op: str, payload) -> Generator:
+        """Serve one RPC: queue for a core, burn CPU, run the handler."""
+        try:
+            fn, cost = self._handlers[op]
+        except KeyError:
+            raise KeyError(f"no RPC handler registered for {op!r}") from None
+        cpu_us = cost(payload) if callable(cost) else cost
+        yield from self.cpu.acquire()
+        try:
+            yield Timeout(self.node.params.rpc_dispatch_cpu_us + cpu_us)
+            result = fn(payload)
+        finally:
+            self.cpu.release()
+        return result
+
+    # -- built-in segment management --------------------------------------
+
+    def _alloc_segment(self, size: int) -> int:
+        """Hand out a contiguous segment; raises when the node is exhausted."""
+        size = _round_up(size, BLOCK_SIZE)
+        bucket = self._free_segments.get(size)
+        if bucket:
+            return bucket.pop()
+        if self._next_free + size > self.node.end:
+            raise OutOfMemoryError(
+                f"node {self.node.node_id}: cannot allocate {size} bytes"
+            )
+        addr = self._next_free
+        self._next_free += size
+        return addr
+
+    def _free_segment(self, payload: Tuple[int, int]) -> None:
+        addr, size = payload
+        size = _round_up(size, BLOCK_SIZE)
+        self._free_segments.setdefault(size, []).append(addr)
+
+    @property
+    def bytes_remaining(self) -> int:
+        reclaimed = sum(size * len(addrs) for size, addrs in self._free_segments.items())
+        return (self.node.end - self._next_free) + reclaimed
+
+
+def _round_up(value: int, granule: int) -> int:
+    return (value + granule - 1) // granule * granule

@@ -1,0 +1,129 @@
+"""Memory nodes: byte-addressable remote memory with 8-byte atomics.
+
+A :class:`MemoryNode` owns a contiguous range of the global address space and
+stores real bytes in a bytearray.  All mutation happens through the methods
+here, which the verb layer calls at the simulated instant the NIC serves the
+message — so CAS/FAA linearize exactly like hardware atomics.
+
+A :class:`MemoryPool` groups nodes into one global address space ([base,
+base+size) per node) and routes addresses; the paper evaluates with a single
+MN but the pool keeps the multi-MN door open.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from ..sim import Engine, RateLimiter
+from ..rdma.params import NetworkParams
+
+_U64 = struct.Struct("<Q")
+
+#: Allocation granule: the paper measures object sizes in 64-byte blocks.
+BLOCK_SIZE = 64
+
+
+class MemoryAccessError(RuntimeError):
+    """Out-of-range or misaligned access against a memory node."""
+
+
+class MemoryNode:
+    """One memory node: raw memory + its RNIC + (optionally) a controller."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        size: int,
+        base: int = 0,
+        node_id: int = 0,
+        params: Optional[NetworkParams] = None,
+    ):
+        if size <= 0:
+            raise ValueError("memory node size must be positive")
+        self.engine = engine
+        self.node_id = node_id
+        self.base = base
+        self.size = size
+        self.params = params or NetworkParams()
+        self._memory = bytearray(size)
+        #: The node's RNIC: a serial message pipe shared by all clients.
+        self.nic = RateLimiter(engine)
+        #: Attached controller (set by Controller.__init__); weak compute.
+        self.controller = None
+
+    # -- bounds ---------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    def _offset(self, addr: int, length: int) -> int:
+        if not self.contains(addr, length):
+            raise MemoryAccessError(
+                f"access [{addr}, {addr + length}) outside node {self.node_id} "
+                f"range [{self.base}, {self.end})"
+            )
+        return addr - self.base
+
+    # -- raw memory operations (instantaneous; timing lives in verbs) ---
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        off = self._offset(addr, length)
+        return bytes(self._memory[off : off + length])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        off = self._offset(addr, len(data))
+        self._memory[off : off + len(data)] = data
+
+    def read_u64(self, addr: int) -> int:
+        off = self._offset(addr, 8)
+        return _U64.unpack_from(self._memory, off)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        off = self._offset(addr, 8)
+        _U64.pack_into(self._memory, off, value & 0xFFFFFFFFFFFFFFFF)
+
+    def compare_and_swap(self, addr: int, expected: int, new: int) -> int:
+        """Atomically swap if current == expected; returns the *old* value."""
+        old = self.read_u64(addr)
+        if old == expected:
+            self.write_u64(addr, new)
+        return old
+
+    def fetch_and_add(self, addr: int, delta: int) -> int:
+        """Atomically add (mod 2^64); returns the *old* value."""
+        old = self.read_u64(addr)
+        self.write_u64(addr, (old + delta) & 0xFFFFFFFFFFFFFFFF)
+        return old
+
+
+class MemoryPool:
+    """The memory pool: a set of MNs forming one global address space."""
+
+    def __init__(self, nodes: Optional[List[MemoryNode]] = None):
+        self.nodes: List[MemoryNode] = list(nodes or [])
+        self._check_disjoint()
+
+    def _check_disjoint(self) -> None:
+        spans = sorted((n.base, n.end) for n in self.nodes)
+        for (_, prev_end), (next_base, _) in zip(spans, spans[1:]):
+            if next_base < prev_end:
+                raise ValueError("memory node address ranges overlap")
+
+    def add(self, node: MemoryNode) -> None:
+        self.nodes.append(node)
+        self._check_disjoint()
+
+    def node_for(self, addr: int, length: int = 1) -> MemoryNode:
+        for node in self.nodes:
+            if node.contains(addr, length):
+                return node
+        raise MemoryAccessError(f"address {addr} not in any memory node")
+
+    @property
+    def total_size(self) -> int:
+        return sum(node.size for node in self.nodes)

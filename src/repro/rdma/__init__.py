@@ -1,0 +1,6 @@
+"""Simulated one-sided RDMA fabric (verbs, NIC model, timing parameters)."""
+
+from .params import DEFAULT_PARAMS, NetworkParams
+from .verbs import RdmaEndpoint
+
+__all__ = ["DEFAULT_PARAMS", "NetworkParams", "RdmaEndpoint"]

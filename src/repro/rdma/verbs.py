@@ -1,0 +1,136 @@
+"""One-sided RDMA verbs over simulated memory nodes.
+
+Every verb is a generator meant to run inside a simulation process
+(``yield from endpoint.read(...)``).  The timing of a verb is::
+
+    client overhead -> half RTT -> MN NIC queue + service -> half RTT
+
+The three legs are folded into a single engine event via the NIC's
+virtual-time booking (see :class:`repro.sim.RateLimiter.serve`): the booking
+order equals issue order, queueing delay is exact for a FIFO pipe, and the
+process resumes when the response lands.  Memory mutations (WRITE/CAS/FAA)
+execute at resume time — a constant half-RTT after NIC service for every
+client — so atomics linearize across concurrent clients in NIC-service
+order, exactly as on hardware.
+
+``post_*`` variants are fire-and-forget: they spawn the verb as a background
+process and return immediately, modelling unsignalled/asynchronous posts the
+paper uses for metadata updates.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..memory.node import MemoryNode, MemoryPool
+from ..sim import CounterSet, Engine, Process
+from .params import NetworkParams
+
+_COUNTER_KEYS = {
+    verb: f"rdma_{verb}" for verb in ("read", "write", "cas", "faa", "rpc")
+}
+
+
+class RdmaEndpoint:
+    """A client-side RDMA endpoint (one per simulated client thread)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pool: MemoryPool,
+        params: Optional[NetworkParams] = None,
+        counters: Optional[CounterSet] = None,
+    ):
+        self.engine = engine
+        self.pool = pool
+        self.params = params or NetworkParams()
+        self.counters = counters if counters is not None else CounterSet()
+        # Pre-resolved fast path for the common single-MN pool.
+        self._single_node = pool.nodes[0] if len(pool.nodes) == 1 else None
+        self._lead = self.params.client_overhead_us + self.params.one_way_us()
+        self._lag = self.params.one_way_us()
+
+    def _node_for(self, addr: int, length: int) -> MemoryNode:
+        node = self._single_node
+        if node is not None and node.contains(addr, length):
+            return node
+        return self.pool.node_for(addr, length)
+
+    # -- one-sided verbs ---------------------------------------------------
+
+    def read(self, addr: int, length: int) -> Generator:
+        """RDMA_READ: returns ``length`` bytes from remote memory."""
+        node = self._node_for(addr, length)
+        self.counters.add("rdma_read")
+        yield from node.nic.serve(
+            self.params.nic_service_us("read", length), self._lead, self._lag
+        )
+        return node.read_bytes(addr, length)
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        """RDMA_WRITE: stores ``data`` at ``addr``."""
+        node = self._node_for(addr, len(data))
+        self.counters.add("rdma_write")
+        yield from node.nic.serve(
+            self.params.nic_service_us("write", len(data)), self._lead, self._lag
+        )
+        node.write_bytes(addr, data)
+
+    def cas(self, addr: int, expected: int, new: int) -> Generator:
+        """RDMA_CAS on an 8-byte word; returns the old value.
+
+        The swap succeeded iff the returned value equals ``expected``.
+        """
+        node = self._node_for(addr, 8)
+        self.counters.add("rdma_cas")
+        yield from node.nic.serve(
+            self.params.nic_service_us("cas", 8), self._lead, self._lag
+        )
+        return node.compare_and_swap(addr, expected, new)
+
+    def faa(self, addr: int, delta: int) -> Generator:
+        """RDMA_FAA on an 8-byte word; returns the old value."""
+        node = self._node_for(addr, 8)
+        self.counters.add("rdma_faa")
+        yield from node.nic.serve(
+            self.params.nic_service_us("faa", 8), self._lead, self._lag
+        )
+        return node.fetch_and_add(addr, delta)
+
+    def charge(self, node: MemoryNode, verb: str, payload: int = 8) -> Generator:
+        """Timing-only verb: full latency/NIC accounting, no memory access.
+
+        Baseline systems whose *remote state* is cost-modelled (e.g. the
+        CliqueMap server structures) use this so their verbs contend for the
+        same NIC as everything else without maintaining byte layouts.
+        """
+        self.counters.add(_COUNTER_KEYS[verb])
+        yield from node.nic.serve(
+            self.params.nic_service_us(verb, payload), self._lead, self._lag
+        )
+
+    # -- RPC to the memory-node controller --------------------------------
+
+    def rpc(self, node: MemoryNode, op: str, payload=None, size: int = 64) -> Generator:
+        """RDMA-based RPC served by the (weak) controller CPU of ``node``."""
+        if node.controller is None:
+            raise RuntimeError(f"memory node {node.node_id} has no controller")
+        self.counters.add("rdma_rpc")
+        yield from node.nic.serve(
+            self.params.nic_service_us("rpc", size), self._lead, 0.0
+        )
+        result = yield from node.controller.serve(op, payload)
+        yield from node.nic.serve(
+            self.params.nic_service_us("write", size), 0.0, self._lag
+        )
+        return result
+
+    # -- asynchronous (unsignalled) posts ---------------------------------
+
+    def post_write(self, addr: int, data: bytes) -> Process:
+        """Fire-and-forget WRITE; returns the background process."""
+        return self.engine.spawn(self.write(addr, data), name="post_write")
+
+    def post_faa(self, addr: int, delta: int) -> Process:
+        """Fire-and-forget FAA; returns the background process."""
+        return self.engine.spawn(self.faa(addr, delta), name="post_faa")

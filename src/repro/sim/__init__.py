@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation substrate (time in microseconds)."""
+
+from .engine import Engine, Event, Process, SimulationError, Timeout
+from .resources import Lock, RateLimiter, Resource
+from .stats import (
+    CounterSet,
+    LatencyStats,
+    ThroughputSeries,
+    hit_rate,
+    relative_change,
+)
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Lock",
+    "RateLimiter",
+    "Resource",
+    "CounterSet",
+    "LatencyStats",
+    "ThroughputSeries",
+    "hit_rate",
+    "relative_change",
+]

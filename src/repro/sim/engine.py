@@ -1,0 +1,196 @@
+"""Discrete-event simulation engine.
+
+The engine drives *processes*: plain Python generators that model concurrent
+activities (client threads, server loops, background daemons).  Processes
+communicate with the engine by yielding *commands*:
+
+- :class:`Timeout` — resume after a simulated delay,
+- :class:`Event` — resume when the event is triggered (yield the event itself),
+- another :class:`Process` — resume when that process completes (join).
+
+Nested calls inside a process use plain ``yield from``, so only the primitive
+commands above ever reach the engine.  Simulated time is a float in
+**microseconds**; nothing in the engine reads the wall clock, which keeps every
+simulation fully deterministic.
+
+A process returns a value with a normal ``return`` statement; the value is
+delivered to joiners and stored on :attr:`Process.result`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (bad yields, running a finished engine, ...)."""
+
+
+class Timeout:
+    """Command: resume the yielding process after ``delay`` microseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def _apply(self, engine: "Engine", process: "Process") -> None:
+        engine.call_later(self.delay, process._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay})"
+
+
+class Event:
+    """A one-shot condition processes can wait on.
+
+    Yielding an event suspends the process until :meth:`trigger` is called.
+    Waiting on an already-triggered event resumes immediately (same timestamp)
+    with the triggered value.
+    """
+
+    __slots__ = ("_engine", "_triggered", "_value", "_waiters")
+
+    def __init__(self, engine: "Engine"):
+        self._engine = engine
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._engine.call_later(0.0, process._step, value)
+
+    def _apply(self, engine: "Engine", process: "Process") -> None:
+        if self._triggered:
+            engine.call_later(0.0, process._step, self._value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A running generator inside the engine.
+
+    Yield a process to join it: the joiner resumes with the process's return
+    value once it finishes.  If the process raised, the exception propagates
+    to joiners (and to :meth:`Engine.run` if nobody joined it).
+    """
+
+    __slots__ = ("engine", "_gen", "done", "result", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
+        self.engine = engine
+        self._gen = gen
+        self.done = Event(engine)
+        self.result: Any = None
+        self.name = name or getattr(gen, "__name__", "process")
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def _step(self, value: Any = None) -> None:
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done.trigger(stop.value)
+            return
+        try:
+            apply = command._apply
+        except AttributeError:
+            raise SimulationError(
+                f"process {self.name!r} yielded a non-command: {command!r}; "
+                "did you forget 'yield from'?"
+            ) from None
+        apply(self.engine, self)
+
+    def _apply(self, engine: "Engine", process: "Process") -> None:
+        # Yielding a Process means "join it".
+        self.done._apply(engine, process)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def call_at(self, when: float, fn: Callable, *args: Any) -> None:
+        if when < self._now:
+            raise SimulationError(f"scheduling into the past: {when} < {self._now}")
+        heapq.heappush(self._heap, (when, next(self._sequence), fn, args))
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        # Hot path: delays are non-negative by construction (Timeout checks),
+        # so skip call_at's past-scheduling validation.
+        heapq.heappush(
+            self._heap, (self._now + delay, next(self._sequence), fn, args)
+        )
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process; it takes its first step at the current time."""
+        process = Process(self, gen, name)
+        self.call_later(0.0, process._step)
+        return process
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run queued events, optionally stopping once time would pass ``until``.
+
+        Returns the simulated time at which the run stopped.  With ``until``
+        set, the clock is advanced to exactly ``until`` even if the heap
+        drained earlier, so repeated ``run(until=...)`` calls form a timeline.
+        """
+        while self._heap:
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen`` and run the engine until it completes.
+
+        This is the *instant mode* used when the library is driven as an
+        ordinary synchronous cache: simulated time still advances (latencies
+        accumulate) but the caller blocks until the operation finishes.
+        """
+        process = self.spawn(gen, name)
+        while not process.finished:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} cannot complete"
+                )
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        return process.result

@@ -1,0 +1,145 @@
+"""Measurement utilities: latency distributions and throughput time series."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class LatencyStats:
+    """Collects individual latency samples (microseconds) for percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, latency_us: float) -> None:
+        self._samples.append(latency_us)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        self._samples.extend(latencies)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.mean(self._samples))
+
+    def percentile(self, p: float) -> float:
+        """p in [0, 100]; e.g. ``percentile(99)`` is the tail latency."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(self._samples, p))
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.median(),
+            "p99": self.p99(),
+        }
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class ThroughputSeries:
+    """Bucketed completion counter: turns completion timestamps into Mops/s.
+
+    ``bucket_us`` is the bucket width in microseconds.  ``series()`` returns
+    ``(bucket_start_us, ops_per_second)`` pairs covering the recorded span.
+    """
+
+    def __init__(self, bucket_us: float = 1_000_000.0):
+        if bucket_us <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_us = bucket_us
+        self._buckets: Dict[int, int] = {}
+        self.total = 0
+
+    def record(self, timestamp_us: float, count: int = 1) -> None:
+        index = int(timestamp_us // self.bucket_us)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.total += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        if not self._buckets:
+            return []
+        lo = min(self._buckets)
+        hi = max(self._buckets)
+        scale = 1e6 / self.bucket_us  # bucket count -> ops/second
+        return [
+            (index * self.bucket_us, self._buckets.get(index, 0) * scale)
+            for index in range(lo, hi + 1)
+        ]
+
+    def ops_per_second(
+        self, start_us: Optional[float] = None, end_us: Optional[float] = None
+    ) -> float:
+        """Average throughput over [start_us, end_us) (whole span by default)."""
+        points = self.series()
+        if not points:
+            return 0.0
+        selected = [
+            rate
+            for t, rate in points
+            if (start_us is None or t >= start_us)
+            and (end_us is None or t < end_us)
+        ]
+        if not selected:
+            return 0.0
+        return float(np.mean(selected))
+
+
+class CounterSet:
+    """Named monotonically increasing counters (RDMA ops, hits, misses...)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"CounterSet({body})"
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Fraction of lookups that hit; 0.0 for an empty run."""
+    total = hits + misses
+    if total == 0:
+        return 0.0
+    return hits / total
+
+
+def relative_change(values: Sequence[float]) -> float:
+    """Paper's relative hit-rate change: (max - min) / max (0 if degenerate)."""
+    if not values:
+        return 0.0
+    top = max(values)
+    if top <= 0 or math.isnan(top):
+        return 0.0
+    return (top - min(values)) / top

@@ -1,0 +1,48 @@
+"""Workload generation: YCSB, synthetic real-world-like traces, concurrency."""
+
+from .interleave import (
+    concurrent_view,
+    interleave_shards,
+    mix_traces,
+    offset_keys,
+    shard_trace,
+)
+from .traces import (
+    TraceSpec,
+    WORKLOAD_CATALOG,
+    corpus,
+    footprint,
+    looping_trace,
+    phase_switch_trace,
+    scan_polluted_trace,
+    shifting_hotspot_trace,
+    webmail_like_trace,
+    zipfian_trace,
+)
+from .ycsb import YCSB_MIXES, YCSBConfig, YCSBWorkload, make_ycsb
+from .zipf import LatestGenerator, UniformGenerator, ZipfianGenerator
+
+__all__ = [
+    "LatestGenerator",
+    "TraceSpec",
+    "UniformGenerator",
+    "WORKLOAD_CATALOG",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "YCSB_MIXES",
+    "ZipfianGenerator",
+    "concurrent_view",
+    "corpus",
+    "footprint",
+    "interleave_shards",
+    "looping_trace",
+    "make_ycsb",
+    "mix_traces",
+    "offset_keys",
+    "phase_switch_trace",
+    "scan_polluted_trace",
+    "shard_trace",
+    "shifting_hotspot_trace",
+    "webmail_like_trace",
+    "zipfian_trace",
+]

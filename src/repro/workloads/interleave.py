@@ -1,0 +1,108 @@
+"""Modelling concurrency effects on access patterns (paper §3.2).
+
+Two mechanisms change what the cache *sees* when compute resources change:
+
+1. Several applications with different patterns share the cache; the overall
+   mixture shifts with each application's client count
+   (:func:`mix_traces` — Figures 3 and 20).
+2. One application's trace is sharded across its client threads and their
+   executions interleave, perturbing the original ordering
+   (:func:`shard_and_interleave` — Figures 5 and 21).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def offset_keys(trace: np.ndarray, offset: int) -> np.ndarray:
+    """Shift a trace into a disjoint key range (for multi-app mixes)."""
+    return np.asarray(trace, dtype=np.int64) + offset
+
+
+def mix_traces(
+    traces: Sequence[np.ndarray],
+    weights: Sequence[float],
+    n_requests: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Merge traces by drawing the next source i.i.d. with ``weights``.
+
+    Each source's internal order is preserved (it models an application
+    replaying its own request stream); a source that runs dry is recycled
+    from its start.  Weights are proportional to the applications' client
+    counts in the paper's compute-scaling experiments.
+    """
+    if len(traces) != len(weights):
+        raise ValueError("traces and weights must align")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probs = np.asarray(weights, dtype=np.float64) / total
+    rng = np.random.default_rng(seed)
+    sources = [np.asarray(t, dtype=np.int64) for t in traces]
+    cursors = [0] * len(sources)
+    picks = rng.choice(len(sources), size=n_requests, p=probs)
+    out = np.empty(n_requests, dtype=np.int64)
+    for i, src_idx in enumerate(picks):
+        src = sources[src_idx]
+        out[i] = src[cursors[src_idx] % len(src)]
+        cursors[src_idx] += 1
+    return out
+
+
+def shard_trace(trace: np.ndarray, n_shards: int) -> List[np.ndarray]:
+    """Split a trace into contiguous per-client shards (the paper's loading
+    scheme: clients replay disjoint trace portions)."""
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    return [np.asarray(s, dtype=np.int64) for s in np.array_split(trace, n_shards)]
+
+
+def interleave_shards(
+    shards: Sequence[np.ndarray], mode: str = "round_robin", seed: int = 0
+) -> np.ndarray:
+    """Merge per-client shards into the stream the shared cache observes.
+
+    ``round_robin`` models lock-step clients; ``random`` models free-running
+    clients (each step, a uniformly random client issues its next request).
+    """
+    sources = [np.asarray(s, dtype=np.int64) for s in shards if len(s)]
+    if not sources:
+        return np.empty(0, dtype=np.int64)
+    total = sum(len(s) for s in sources)
+    out = np.empty(total, dtype=np.int64)
+    if mode == "round_robin":
+        cursors = [0] * len(sources)
+        produced = 0
+        while produced < total:
+            for idx, src in enumerate(sources):
+                if cursors[idx] < len(src):
+                    out[produced] = src[cursors[idx]]
+                    cursors[idx] += 1
+                    produced += 1
+    elif mode == "random":
+        rng = np.random.default_rng(seed)
+        cursors = [0] * len(sources)
+        live = list(range(len(sources)))
+        produced = 0
+        while live:
+            pick = live[int(rng.integers(0, len(live)))]
+            out[produced] = sources[pick][cursors[pick]]
+            cursors[pick] += 1
+            produced += 1
+            if cursors[pick] >= len(sources[pick]):
+                live.remove(pick)
+    else:
+        raise ValueError(f"unknown interleave mode {mode!r}")
+    return out
+
+
+def concurrent_view(trace: np.ndarray, n_clients: int, mode: str = "random", seed: int = 0) -> np.ndarray:
+    """Shard a trace over ``n_clients`` and interleave: what the cache sees
+    when the application scales to ``n_clients`` threads."""
+    if n_clients <= 1:
+        return np.asarray(trace, dtype=np.int64)
+    return interleave_shards(shard_trace(trace, n_clients), mode=mode, seed=seed)

@@ -1,0 +1,110 @@
+"""YCSB core workloads A-D (Cooper et al., SoCC'10) as request streams.
+
+A request is ``(op, key_id)`` with op in {"read", "update", "insert"}.  The
+paper's setup: 10 million pre-loaded 256-byte key-value pairs, Zipfian with
+θ = 0.99.  Workload D inserts new keys and reads with the "latest"
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from .zipf import LatestGenerator, ZipfianGenerator
+
+Request = Tuple[str, int]
+
+#: (read fraction, update fraction, insert fraction) per core workload.
+YCSB_MIXES = {
+    "A": (0.50, 0.50, 0.0),
+    "B": (0.95, 0.05, 0.0),
+    "C": (1.00, 0.00, 0.0),
+    "D": (0.95, 0.00, 0.05),
+}
+
+
+@dataclass
+class YCSBConfig:
+    workload: str = "C"
+    n_keys: int = 10_000_000
+    theta: float = 0.99
+    value_bytes: int = 256
+    seed: int = 0
+    #: Workload D only: this generator's inserts land in a private key range
+    #: (``n_keys + client_id * insert_space + i``), mirroring YCSB's
+    #: globally-unique new record IDs when many clients insert concurrently.
+    client_id: int = 0
+    insert_space: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        self.workload = self.workload.upper()
+        if self.workload not in YCSB_MIXES:
+            raise ValueError(f"unknown YCSB workload {self.workload!r}")
+
+
+class YCSBWorkload:
+    """Generates load keys and request streams for one core workload."""
+
+    def __init__(self, config: YCSBConfig):
+        self.config = config
+        mix = YCSB_MIXES[config.workload]
+        self._read_frac, self._update_frac, self._insert_frac = mix
+        self._zipf = ZipfianGenerator(
+            config.n_keys, theta=config.theta, seed=config.seed
+        )
+        self._latest = LatestGenerator(
+            config.n_keys, theta=config.theta, seed=config.seed + 1
+        )
+        self._rng = np.random.default_rng(config.seed + 2)
+        self._newest = config.n_keys - 1  # logical key space: base + own inserts
+
+    def load_keys(self) -> range:
+        """Keys pre-loaded before the measured run (sharded across clients)."""
+        return range(self.config.n_keys)
+
+    def _physical_key(self, logical: int) -> int:
+        """Map the logical (base + own-inserts) space to physical keys."""
+        if logical < self.config.n_keys:
+            return logical
+        own_index = logical - self.config.n_keys
+        return (
+            self.config.n_keys
+            + self.config.client_id * self.config.insert_space
+            + own_index
+        )
+
+    def requests(self, count: int) -> List[Request]:
+        """Materialize ``count`` requests."""
+        ops = self._rng.random(count)
+        if self.config.workload == "D":
+            out: List[Request] = []
+            for op_draw in ops:
+                if op_draw < self._insert_frac:
+                    self._newest += 1
+                    out.append(("insert", self._physical_key(self._newest)))
+                else:
+                    logical = self._latest.sample_one(self._newest)
+                    out.append(("read", self._physical_key(logical)))
+            return out
+        keys = self._zipf.sample(count)
+        read_cut = self._read_frac
+        return [
+            ("read" if draw < read_cut else "update", int(key))
+            for draw, key in zip(ops, keys)
+        ]
+
+    def request_stream(self, count: int, chunk: int = 4096) -> Iterator[Request]:
+        """Memory-frugal request iterator."""
+        remaining = count
+        while remaining > 0:
+            batch = self.requests(min(chunk, remaining))
+            remaining -= len(batch)
+            yield from batch
+
+
+def make_ycsb(workload: str, n_keys: int = 100_000, seed: int = 0, **kwargs) -> YCSBWorkload:
+    """Convenience constructor: ``make_ycsb("C", n_keys=1_000_000)``."""
+    return YCSBWorkload(YCSBConfig(workload=workload, n_keys=n_keys, seed=seed, **kwargs))

@@ -1,0 +1,52 @@
+"""Consistency checks between timed baselines and their hit-rate models."""
+
+import pytest
+
+from repro.baselines import CliqueMapCluster
+from repro.cachesim import ExactLRUCache
+from repro.workloads import zipfian_trace
+
+
+def test_cliquemap_hit_rate_matches_exact_lru_model():
+    """The timed CliqueMap's cache decisions must equal the exact-LRU model
+    when access info syncs after every request (no staleness)."""
+    n_keys, capacity = 300, 60
+    trace = zipfian_trace(4_000, n_keys, theta=0.9, seed=11)
+
+    model = ExactLRUCache(capacity)
+    model_hits = 0
+    for key in trace:
+        if model.access(int(key)):
+            model_hits += 1
+
+    cm = CliqueMapCluster(policy="lru", capacity_objects=capacity,
+                          num_clients=1, sync_every=1)
+    run = cm.engine.run_process
+    client = cm.clients[0]
+    for key in trace:
+        got = run(client.get(b"%d" % key))
+        if got is None:
+            run(client.set(b"%d" % key, b"v"))
+    assert cm.hits == model_hits
+
+
+def test_cliquemap_staleness_changes_decisions():
+    """Infrequent access-info sync (the real CliqueMap design point) makes
+    server-side recency stale; hit behaviour may drift from exact LRU."""
+    n_keys, capacity = 300, 60
+    trace = zipfian_trace(6_000, n_keys, theta=0.9, seed=12)
+
+    def run_cm(sync_every):
+        cm = CliqueMapCluster(policy="lru", capacity_objects=capacity,
+                              num_clients=1, sync_every=sync_every)
+        run = cm.engine.run_process
+        client = cm.clients[0]
+        for key in trace:
+            if run(client.get(b"%d" % key)) is None:
+                run(client.set(b"%d" % key, b"v"))
+        return cm.hit_rate()
+
+    fresh = run_cm(1)
+    stale = run_cm(256)
+    # Staleness is allowed to cost hit rate but not to break the cache.
+    assert 0.0 < stale <= fresh + 0.05

@@ -1,0 +1,64 @@
+"""Tests for table formatting and experiment scaling."""
+
+import pytest
+
+from repro.bench import format_table, scale_name, scaled
+from repro.bench.hitrate import compare_systems, make_hit_cache, replay_windowed
+from repro.cachesim import ExactLFUCache, ExactLRUCache, RandomCache, SampledAdaptiveCache
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [("a", 1.23456), ("bb", 2)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.235" in text
+        assert "bb" in text
+
+    def test_column_width_tracks_longest(self):
+        text = format_table(["x"], [("averylongvalue",)])
+        assert "averylongvalue" in text
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_name() == "quick"
+        assert scaled(1, 2) == 1
+
+    def test_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_name() == "full"
+        assert scaled(1, 2) == 2
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            scale_name()
+
+
+class TestHitrateHelpers:
+    def test_make_hit_cache_kinds(self):
+        assert isinstance(make_hit_cache("ditto", 8), SampledAdaptiveCache)
+        assert isinstance(make_hit_cache("ditto-lru", 8), SampledAdaptiveCache)
+        assert isinstance(make_hit_cache("cm-lru", 8), ExactLRUCache)
+        assert isinstance(make_hit_cache("cm-lfu", 8), ExactLFUCache)
+        assert isinstance(make_hit_cache("random", 8), RandomCache)
+        assert make_hit_cache("ditto", 8).adaptive
+        assert not make_hit_cache("ditto-lfu", 8).adaptive
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            make_hit_cache("belady", 8)
+
+    def test_compare_systems(self):
+        trace = [i % 20 for i in range(500)]
+        rates = compare_systems(("ditto-lru", "cm-lru"), trace, 10, seed=1)
+        assert set(rates) == {"ditto-lru", "cm-lru"}
+        assert all(0 <= v <= 1 for v in rates.values())
+
+    def test_replay_windowed(self):
+        cache = make_hit_cache("ditto-lru", 10)
+        rates = replay_windowed(cache, [i % 5 for i in range(100)], windows=4)
+        assert len(rates) == 4
+        assert rates[-1] > rates[0]  # warm cache hits more

@@ -1,0 +1,45 @@
+"""Tests for the run-all CLI registry."""
+
+from repro.bench import run_all
+from repro.bench.experiments import tab02_workload_catalog
+
+
+def test_registry_covers_every_figure():
+    expected = {
+        "fig01", "fig02", "fig03", "fig04", "fig05",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab02",
+        "extra-samples", "extra-history",
+    }
+    assert set(run_all.EXPERIMENTS) == expected
+
+
+def test_every_entry_has_main_and_run():
+    for module in run_all.EXPERIMENTS.values():
+        assert callable(getattr(module, "main"))
+        assert callable(getattr(module, "run"))
+
+
+def test_unknown_experiment_rejected():
+    assert run_all.main(["nope"]) == 2
+
+
+def test_single_experiment_runs(capsys):
+    assert run_all.main(["tab02"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_module_is_registered():
+    assert run_all.EXPERIMENTS["tab02"] is tab02_workload_catalog
+
+
+def test_examples_compile():
+    """Every example script must at least be valid Python."""
+    import pathlib
+
+    examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        compile(script.read_text(), str(script), "exec")

@@ -1,0 +1,89 @@
+"""Behavioural tests of the adaptive simulator across workload phases."""
+
+import pytest
+
+from repro.cachesim import SampledAdaptiveCache
+from repro.workloads import (
+    phase_switch_trace,
+    scan_polluted_trace,
+    shifting_hotspot_trace,
+    zipfian_trace,
+)
+
+
+def run_trace(cache, trace):
+    for key in trace:
+        cache.access(int(key))
+    return cache.hit_rate()
+
+
+class TestEnvelope:
+    """Ditto must live inside (and toward the top of) its experts' envelope."""
+
+    @pytest.mark.parametrize(
+        "trace_fn",
+        [
+            lambda: zipfian_trace(50_000, 2048, theta=1.0, seed=6),
+            lambda: shifting_hotspot_trace(50_000, 2048, seed=6),
+            lambda: scan_polluted_trace(50_000, 2048, seed=6),
+        ],
+        ids=["zipf", "drift", "scan"],
+    )
+    def test_bounded_by_experts(self, trace_fn):
+        trace = trace_fn()
+        lru = run_trace(SampledAdaptiveCache(256, policies=("lru",), seed=2), trace)
+        lfu = run_trace(SampledAdaptiveCache(256, policies=("lfu",), seed=2), trace)
+        ditto = run_trace(SampledAdaptiveCache(256, policies=("lru", "lfu"), seed=2), trace)
+        assert min(lru, lfu) - 0.03 <= ditto <= max(lru, lfu) + 0.03
+
+
+class TestPhaseSwitching:
+    def test_ditto_beats_worse_expert_on_switching_workload(self):
+        trace = phase_switch_trace(80_000, 2048, phases=4, seed=7)
+        lru = run_trace(SampledAdaptiveCache(256, policies=("lru",), seed=2), trace)
+        lfu = run_trace(SampledAdaptiveCache(256, policies=("lfu",), seed=2), trace)
+        ditto = run_trace(SampledAdaptiveCache(256, policies=("lru", "lfu"), seed=2), trace)
+        assert ditto > min(lru, lfu)
+        assert ditto >= max(lru, lfu) - 0.02
+
+    def test_weights_move_between_phases(self):
+        trace = phase_switch_trace(80_000, 2048, phases=2, seed=7)
+        cache = SampledAdaptiveCache(256, policies=("lru", "lfu"), seed=2)
+        half = len(trace) // 2
+        for key in trace[:half]:
+            cache.access(int(key))
+        weights_after_lru_phase = list(cache.weights.weights)
+        for key in trace[half:]:
+            cache.access(int(key))
+        weights_after_lfu_phase = list(cache.weights.weights)
+        # The LFU-friendly phase shifts mass toward LFU relative to before.
+        assert weights_after_lfu_phase[1] != pytest.approx(
+            weights_after_lru_phase[1], abs=1e-6
+        )
+
+
+class TestThreeExperts:
+    def test_three_expert_adaptive_runs(self):
+        trace = zipfian_trace(30_000, 1024, theta=1.0, seed=8)
+        cache = SampledAdaptiveCache(
+            128, policies=("lru", "lfu", "fifo"), seed=3
+        )
+        run_trace(cache, trace)
+        assert len(cache.expert_weights) == 3
+        assert sum(cache.expert_weights) == pytest.approx(1.0)
+
+    def test_bitmaps_cover_all_experts(self):
+        """With 3 experts the history bitmap can name any subset."""
+        trace = zipfian_trace(20_000, 512, theta=0.8, seed=8)
+        cache = SampledAdaptiveCache(64, policies=("lru", "lfu", "fifo"), seed=3)
+        bitmaps = set()
+        original = cache._record_history
+
+        def spy(key, bitmap):
+            bitmaps.add(bitmap)
+            original(key, bitmap)
+
+        cache._record_history = spy
+        run_trace(cache, trace)
+        assert all(1 <= b <= 0b111 for b in bitmaps)
+        assert len(bitmaps) >= 2  # experts do disagree sometimes

@@ -1,0 +1,100 @@
+"""Tests for the DittoCache public façade."""
+
+import pytest
+
+from repro import DittoCache
+
+
+@pytest.fixture()
+def cache():
+    return DittoCache(capacity_objects=256, object_bytes=64, num_clients=2, seed=5)
+
+
+class TestApi:
+    def test_str_and_bytes_keys(self, cache):
+        cache.set("text", "value")
+        cache.set(b"raw", b"bytes")
+        assert cache.get("text") == b"value"
+        assert cache.get(b"raw") == b"bytes"
+
+    def test_missing_key_none(self, cache):
+        assert cache.get("ghost") is None
+
+    def test_contains(self, cache):
+        cache.set("k", "v")
+        assert "k" in cache
+        assert "other" not in cache
+
+    def test_len_tracks_objects(self, cache):
+        assert len(cache) == 0
+        cache.set("a", "1")
+        cache.set("b", "2")
+        assert len(cache) == 2
+        cache.delete("a")
+        assert len(cache) == 1
+
+    def test_delete_returns_presence(self, cache):
+        cache.set("k", "v")
+        assert cache.delete("k") is True
+        assert cache.delete("k") is False
+
+    def test_get_or_load(self, cache):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return "loaded"
+
+        assert cache.get_or_load("k", loader) == b"loaded"
+        assert cache.get_or_load("k", loader) == b"loaded"
+        assert len(calls) == 1
+
+    def test_type_errors(self, cache):
+        with pytest.raises(TypeError):
+            cache.set(123, "v")
+        with pytest.raises(TypeError):
+            cache.set("k", 4.5)
+
+    def test_stats_and_hit_rate(self, cache):
+        cache.set("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert cache.hit_rate() == pytest.approx(0.5)
+        assert stats["sim_time_us"] > 0
+
+    def test_expert_weights_exposed(self, cache):
+        weights = cache.expert_weights
+        assert set(weights) == {"lru", "lfu"}
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestElasticity:
+    def test_scale_clients_up_and_down(self, cache):
+        cache.set("k", "v")
+        cache.scale_clients(6)
+        assert len(cache.cluster.clients) == 6
+        assert cache.get("k") == b"v"  # data untouched by compute scaling
+        cache.scale_clients(2)
+        assert len(cache.cluster.clients) == 2
+        assert cache.get("k") == b"v"
+
+    def test_resize_memory(self, cache):
+        for i in range(200):
+            cache.set(f"key{i}", "v" * 40)
+        cache.resize(32)
+        for i in range(210, 230):
+            cache.set(f"key{i}", "v" * 40)
+        used = cache.stats()["used_bytes"]
+        assert used <= cache.cluster.budget.limit_bytes
+
+    def test_custom_policies(self):
+        cache = DittoCache(capacity_objects=64, policies=("fifo",), seed=2)
+        for i in range(100):
+            cache.set(f"k{i}", "v")
+        assert len(cache) > 0
+
+    def test_config_kwargs_forwarded(self):
+        cache = DittoCache(capacity_objects=64, sample_size=7, seed=2)
+        assert cache.cluster.config.sample_size == 7

@@ -1,0 +1,39 @@
+"""Tests for DittoConfig validation and derived settings."""
+
+import pytest
+
+from repro import DittoConfig
+
+
+def test_defaults_match_paper():
+    config = DittoConfig()
+    assert config.policies == ("lru", "lfu")
+    assert config.sample_size == 5  # Redis default
+    assert config.fc_threshold == 10
+    assert config.fc_capacity_bytes == 10 * 1024 * 1024
+    assert config.learning_rate == pytest.approx(0.1)
+    assert config.weight_update_batch == 100
+
+
+def test_single_policy_disables_adaptive():
+    config = DittoConfig(policies=("lru",))
+    assert config.adaptive is False
+
+
+def test_disabling_fc_forces_threshold_one():
+    config = DittoConfig(use_fc=False)
+    assert config.fc_threshold == 1
+
+
+def test_rejects_empty_policies():
+    with pytest.raises(ValueError):
+        DittoConfig(policies=())
+
+
+def test_rejects_bad_sample_size():
+    with pytest.raises(ValueError):
+        DittoConfig(sample_size=0)
+
+
+def test_num_experts():
+    assert DittoConfig(policies=("lru", "lfu", "fifo")).num_experts == 3

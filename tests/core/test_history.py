@@ -1,0 +1,70 @@
+"""Unit tests for the logical FIFO queue / lightweight history (§4.3.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import HISTORY_WRAP, RemoteFifoHistory, history_age, is_expired
+
+
+class TestHistoryAge:
+    def test_simple_age(self):
+        assert history_age(100, 90) == 10
+
+    def test_zero_age(self):
+        assert history_age(5, 5) == 0
+
+    def test_wraparound(self):
+        # counter wrapped: id near the top, counter just past zero
+        assert history_age(3, HISTORY_WRAP - 2) == 5
+
+    @given(st.integers(0, HISTORY_WRAP - 1), st.integers(0, HISTORY_WRAP - 1))
+    def test_age_in_range(self, counter, hist_id):
+        assert 0 <= history_age(counter, hist_id) < HISTORY_WRAP
+
+
+class TestExpiry:
+    def test_fresh_entry_valid(self):
+        assert not is_expired(100, 95, history_size=10)
+
+    def test_exactly_at_limit_valid(self):
+        assert not is_expired(110, 100, history_size=10)
+
+    def test_past_limit_expired(self):
+        assert is_expired(111, 100, history_size=10)
+
+    def test_wraparound_expiry(self):
+        # paper's second rule: v1 + 2^48 - v2 > l
+        assert not is_expired(1, HISTORY_WRAP - 1, history_size=10)
+        assert is_expired(20, HISTORY_WRAP - 1, history_size=10)
+
+
+class TestRemoteFifoHistory:
+    def test_insert_lookup(self):
+        history = RemoteFifoHistory(base_addr=0, size=4)
+        history.insert(key_hash=111, history_id=0, expert_bitmap=0b01)
+        assert history.lookup(111) == (0, 0b01)
+        assert history.lookup(222) is None
+
+    def test_fifo_overwrite_removes_old_entries(self):
+        history = RemoteFifoHistory(base_addr=0, size=2)
+        history.insert(1, 0, 0)
+        history.insert(2, 1, 0)
+        history.insert(3, 2, 0)  # overwrites slot of id 0
+        assert history.lookup(1) is None
+        assert history.lookup(2) is not None
+        assert history.lookup(3) is not None
+
+    def test_entry_addresses_within_region(self):
+        history = RemoteFifoHistory(base_addr=1000, size=8)
+        for hist_id in range(20):
+            addr = history.entry_addr(hist_id)
+            assert 1008 <= addr < 1000 + history.region_bytes
+
+    def test_region_bytes(self):
+        history = RemoteFifoHistory(base_addr=0, size=10)
+        assert history.region_bytes == 8 + 10 * 40
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RemoteFifoHistory(0, 0)

@@ -1,0 +1,107 @@
+"""Unit tests for MemoryNode / MemoryPool raw semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import MemoryAccessError, MemoryNode, MemoryPool
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def node():
+    return MemoryNode(Engine(), size=4096)
+
+
+class TestMemoryNode:
+    def test_zero_initialized(self, node):
+        assert node.read_bytes(0, 16) == bytes(16)
+
+    def test_write_read_roundtrip(self, node):
+        node.write_bytes(10, b"hello")
+        assert node.read_bytes(10, 5) == b"hello"
+
+    def test_u64_roundtrip(self, node):
+        node.write_u64(8, 0xDEADBEEF)
+        assert node.read_u64(8) == 0xDEADBEEF
+
+    def test_u64_masks_to_64_bits(self, node):
+        node.write_u64(8, 1 << 65)
+        assert node.read_u64(8) == 0
+
+    def test_out_of_range_read_raises(self, node):
+        with pytest.raises(MemoryAccessError):
+            node.read_bytes(4090, 10)
+        with pytest.raises(MemoryAccessError):
+            node.read_bytes(-1, 1)
+
+    def test_out_of_range_write_raises(self, node):
+        with pytest.raises(MemoryAccessError):
+            node.write_bytes(4095, b"ab")
+
+    def test_cas_semantics(self, node):
+        assert node.compare_and_swap(0, 0, 5) == 0
+        assert node.read_u64(0) == 5
+        assert node.compare_and_swap(0, 0, 9) == 5  # fails
+        assert node.read_u64(0) == 5
+
+    def test_faa_semantics(self, node):
+        assert node.fetch_and_add(0, 10) == 0
+        assert node.fetch_and_add(0, -3 & 0xFFFFFFFFFFFFFFFF) == 10
+
+    def test_base_offset_addressing(self):
+        node = MemoryNode(Engine(), size=1024, base=10_000)
+        node.write_bytes(10_100, b"x")
+        assert node.read_bytes(10_100, 1) == b"x"
+        with pytest.raises(MemoryAccessError):
+            node.read_bytes(100, 1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            MemoryNode(Engine(), size=0)
+
+    @given(st.integers(0, 4088), st.binary(min_size=1, max_size=8))
+    def test_write_read_arbitrary(self, addr, data):
+        node = MemoryNode(Engine(), size=4096)
+        node.write_bytes(addr, data)
+        assert node.read_bytes(addr, len(data)) == data
+
+
+class TestMemoryPool:
+    def test_total_size(self):
+        engine = Engine()
+        pool = MemoryPool(
+            [MemoryNode(engine, 100, base=0), MemoryNode(engine, 200, base=100)]
+        )
+        assert pool.total_size == 300
+
+    def test_overlapping_ranges_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="overlap"):
+            MemoryPool(
+                [MemoryNode(engine, 100, base=0), MemoryNode(engine, 100, base=50)]
+            )
+
+    def test_node_for_routes_and_raises(self):
+        engine = Engine()
+        a = MemoryNode(engine, 100, base=0, node_id=0)
+        b = MemoryNode(engine, 100, base=100, node_id=1)
+        pool = MemoryPool([a, b])
+        assert pool.node_for(50) is a
+        assert pool.node_for(150) is b
+        with pytest.raises(MemoryAccessError):
+            pool.node_for(300)
+
+    def test_straddling_access_rejected(self):
+        engine = Engine()
+        pool = MemoryPool(
+            [MemoryNode(engine, 100, base=0), MemoryNode(engine, 100, base=100)]
+        )
+        with pytest.raises(MemoryAccessError):
+            pool.node_for(95, 10)
+
+    def test_add_checks_overlap(self):
+        engine = Engine()
+        pool = MemoryPool([MemoryNode(engine, 100, base=0)])
+        with pytest.raises(ValueError):
+            pool.add(MemoryNode(engine, 100, base=99))

@@ -1,0 +1,29 @@
+"""Unit tests for the fabric timing parameters."""
+
+import pytest
+
+from repro.rdma import NetworkParams
+
+
+def test_nic_service_scales_with_payload():
+    params = NetworkParams(nic_rate_mops=10.0, bandwidth_bytes_per_us=1000.0)
+    small = params.nic_service_us("read", 0)
+    large = params.nic_service_us("read", 1000)
+    assert small == pytest.approx(0.1)
+    assert large == pytest.approx(0.1 + 1.0)
+
+
+def test_atomics_cost_more_than_reads():
+    params = NetworkParams()
+    assert params.nic_service_us("cas", 8) > params.nic_service_us("read", 8)
+    assert params.nic_service_us("faa", 8) > params.nic_service_us("write", 8)
+
+
+def test_one_way_is_half_rtt():
+    params = NetworkParams(rtt_us=3.0)
+    assert params.one_way_us() == pytest.approx(1.5)
+
+
+def test_unknown_verb_raises():
+    with pytest.raises(KeyError):
+        NetworkParams().nic_service_us("bogus", 8)

@@ -1,0 +1,200 @@
+"""Unit tests for the one-sided verb layer (semantics + timing)."""
+
+import pytest
+
+from repro.memory import Controller, MemoryNode, MemoryPool
+from repro.rdma import NetworkParams, RdmaEndpoint
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def fabric():
+    engine = Engine()
+    node = MemoryNode(engine, size=1 << 16)
+    Controller(node, cores=1, reserve=1024)
+    pool = MemoryPool([node])
+    endpoint = RdmaEndpoint(engine, pool)
+    return engine, node, pool, endpoint
+
+
+def test_write_then_read_roundtrip(fabric):
+    engine, _node, _pool, ep = fabric
+
+    def flow():
+        yield from ep.write(100, b"payload")
+        data = yield from ep.read(100, 7)
+        return data
+
+    assert engine.run_process(flow()) == b"payload"
+
+
+def test_read_takes_at_least_one_rtt(fabric):
+    engine, _node, _pool, ep = fabric
+
+    def flow():
+        yield from ep.read(0, 8)
+
+    engine.run_process(flow())
+    assert engine.now >= ep.params.rtt_us
+
+
+def test_cas_success_and_failure(fabric):
+    engine, _node, _pool, ep = fabric
+
+    def flow():
+        first = yield from ep.cas(200, 0, 7)
+        second = yield from ep.cas(200, 0, 9)  # expected stale -> fails
+        current = yield from ep.read(200, 8)
+        return first, second, current
+
+    first, second, current = engine.run_process(flow())
+    assert first == 0  # swap happened
+    assert second == 7  # returned actual value, no swap
+    assert int.from_bytes(current, "little") == 7
+
+
+def test_faa_accumulates_and_returns_old(fabric):
+    engine, _node, _pool, ep = fabric
+
+    def flow():
+        a = yield from ep.faa(300, 5)
+        b = yield from ep.faa(300, 3)
+        return a, b
+
+    a, b = engine.run_process(flow())
+    assert (a, b) == (0, 5)
+
+
+def test_faa_wraps_at_64_bits(fabric):
+    engine, node, _pool, ep = fabric
+    node.write_u64(300, (1 << 64) - 1)
+
+    def flow():
+        old = yield from ep.faa(300, 2)
+        return old
+
+    assert engine.run_process(flow()) == (1 << 64) - 1
+    assert node.read_u64(300) == 1
+
+
+def test_counters_track_verbs(fabric):
+    engine, _node, _pool, ep = fabric
+
+    def flow():
+        yield from ep.write(0, b"x")
+        yield from ep.read(0, 1)
+        yield from ep.cas(8, 0, 1)
+        yield from ep.faa(16, 1)
+
+    engine.run_process(flow())
+    counts = ep.counters.as_dict()
+    assert counts == {"rdma_write": 1, "rdma_read": 1, "rdma_cas": 1, "rdma_faa": 1}
+
+
+def test_nic_serializes_concurrent_clients():
+    engine = Engine()
+    params = NetworkParams(
+        rtt_us=0.0, client_overhead_us=0.0, nic_rate_mops=1.0,
+        bandwidth_bytes_per_us=1e12,
+    )
+    node = MemoryNode(engine, size=4096, params=params)
+    pool = MemoryPool([node])
+    finish = []
+
+    def client():
+        ep = RdmaEndpoint(engine, pool, params)
+        yield from ep.read(0, 8)
+        finish.append(engine.now)
+
+    for _ in range(3):
+        engine.spawn(client())
+    engine.run()
+    # one message per microsecond at 1 Mops (tiny bandwidth term tolerated)
+    assert finish == pytest.approx([1.0, 2.0, 3.0], abs=1e-6)
+
+
+def test_atomicity_under_concurrent_cas():
+    """Exactly one of N concurrent CAS(0 -> id) winners."""
+    engine = Engine()
+    node = MemoryNode(engine, size=4096)
+    pool = MemoryPool([node])
+    outcomes = []
+
+    def client(client_id):
+        ep = RdmaEndpoint(engine, pool)
+        old = yield from ep.cas(0, 0, client_id)
+        outcomes.append((client_id, old))
+
+    for cid in (1, 2, 3, 4):
+        engine.spawn(client(cid))
+    engine.run()
+    winners = [cid for cid, old in outcomes if old == 0]
+    assert len(winners) == 1
+    assert node.read_u64(0) == winners[0]
+
+
+def test_post_write_is_asynchronous(fabric):
+    engine, node, _pool, ep = fabric
+
+    def flow():
+        ep.post_write(500, b"later")
+        if False:
+            yield
+        return engine.now
+
+    issued_at = engine.run_process(flow())
+    assert issued_at == 0.0  # returned immediately
+    engine.run()
+    assert node.read_bytes(500, 5) == b"later"
+
+
+def test_charge_costs_time_without_memory_access(fabric):
+    engine, node, _pool, ep = fabric
+    before = bytes(node.read_bytes(0, 64))
+
+    def flow():
+        yield from ep.charge(node, "read", 64)
+
+    engine.run_process(flow())
+    assert engine.now > 0
+    assert node.read_bytes(0, 64) == before
+
+
+def test_rpc_without_controller_raises():
+    engine = Engine()
+    node = MemoryNode(engine, size=4096)
+    pool = MemoryPool([node])
+    ep = RdmaEndpoint(engine, pool)
+
+    def flow():
+        yield from ep.rpc(node, "x", None)
+
+    with pytest.raises(RuntimeError, match="no controller"):
+        engine.run_process(flow())
+
+
+def test_rpc_dispatches_registered_handler(fabric):
+    engine, node, _pool, ep = fabric
+    node.controller.register("echo", lambda payload: payload * 2, cpu_us=1.0)
+
+    def flow():
+        result = yield from ep.rpc(node, "echo", 21)
+        return result
+
+    assert engine.run_process(flow()) == 42
+
+
+def test_multi_node_pool_routes_by_address():
+    engine = Engine()
+    node_a = MemoryNode(engine, size=4096, base=0, node_id=0)
+    node_b = MemoryNode(engine, size=4096, base=4096, node_id=1)
+    pool = MemoryPool([node_a, node_b])
+    ep = RdmaEndpoint(engine, pool)
+
+    def flow():
+        yield from ep.write(100, b"a")
+        yield from ep.write(4196, b"b")
+
+    engine.run_process(flow())
+    assert node_a.read_bytes(100, 1) == b"a"
+    assert node_b.read_bytes(4196, 1) == b"b"

@@ -1,0 +1,105 @@
+"""Unit tests for measurement utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import CounterSet, LatencyStats, ThroughputSeries, hit_rate, relative_change
+
+
+class TestLatencyStats:
+    def test_empty_is_nan(self):
+        stats = LatencyStats()
+        assert math.isnan(stats.mean())
+        assert math.isnan(stats.p99())
+        assert stats.count == 0
+
+    def test_percentiles_ordered(self):
+        stats = LatencyStats()
+        stats.extend(float(i) for i in range(1, 101))
+        assert stats.median() == pytest.approx(50.5)
+        assert stats.p99() >= stats.median() >= stats.percentile(1)
+
+    def test_mean(self):
+        stats = LatencyStats()
+        stats.extend([1.0, 2.0, 3.0])
+        assert stats.mean() == pytest.approx(2.0)
+
+    def test_summary_and_reset(self):
+        stats = LatencyStats()
+        stats.record(5.0)
+        summary = stats.summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == 5.0
+        stats.reset()
+        assert stats.count == 0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=200))
+    def test_percentile_bounds(self, samples):
+        stats = LatencyStats()
+        stats.extend(samples)
+        assert min(samples) <= stats.percentile(50) <= max(samples)
+        assert stats.percentile(0) == pytest.approx(min(samples))
+        assert stats.percentile(100) == pytest.approx(max(samples))
+
+
+class TestThroughputSeries:
+    def test_bucketing(self):
+        series = ThroughputSeries(bucket_us=1000.0)
+        for t in (100.0, 900.0, 1500.0):
+            series.record(t)
+        points = series.series()
+        assert points[0] == (0.0, 2000.0)  # 2 ops in 1 ms -> 2000 ops/s
+        assert points[1] == (1000.0, 1000.0)
+        assert series.total == 3
+
+    def test_gap_buckets_are_zero(self):
+        series = ThroughputSeries(bucket_us=100.0)
+        series.record(50.0)
+        series.record(350.0)
+        rates = [rate for _, rate in series.series()]
+        assert rates[1] == 0.0 and rates[2] == 0.0
+
+    def test_average_window(self):
+        series = ThroughputSeries(bucket_us=100.0)
+        for t in (10.0, 20.0, 110.0):
+            series.record(t)
+        assert series.ops_per_second(0.0, 100.0) == pytest.approx(20000.0)
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries(bucket_us=0)
+
+    def test_empty(self):
+        assert ThroughputSeries().series() == []
+        assert ThroughputSeries().ops_per_second() == 0.0
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        counters = CounterSet()
+        counters.add("reads")
+        counters.add("reads", 4)
+        assert counters.get("reads") == 5
+        assert counters.get("absent") == 0
+
+    def test_as_dict_and_reset(self):
+        counters = CounterSet()
+        counters.add("x", 2)
+        assert counters.as_dict() == {"x": 2}
+        counters.reset()
+        assert counters.as_dict() == {}
+
+
+def test_hit_rate():
+    assert hit_rate(0, 0) == 0.0
+    assert hit_rate(3, 1) == pytest.approx(0.75)
+
+
+def test_relative_change():
+    assert relative_change([]) == 0.0
+    assert relative_change([0.0, 0.0]) == 0.0
+    assert relative_change([0.5, 1.0]) == pytest.approx(0.5)
+    assert relative_change([0.8]) == 0.0

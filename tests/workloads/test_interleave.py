@@ -1,0 +1,88 @@
+"""Tests for trace mixing and concurrency interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    concurrent_view,
+    interleave_shards,
+    mix_traces,
+    offset_keys,
+    shard_trace,
+)
+
+
+class TestOffsetKeys:
+    def test_shifts(self):
+        assert list(offset_keys(np.array([0, 1, 2]), 100)) == [100, 101, 102]
+
+
+class TestMixTraces:
+    def test_weights_respected(self):
+        a = np.zeros(10_000, dtype=np.int64)
+        b = np.ones(10_000, dtype=np.int64)
+        mixed = mix_traces([a, b], weights=[3, 1], n_requests=10_000, seed=1)
+        share_a = float(np.mean(mixed == 0))
+        assert share_a == pytest.approx(0.75, abs=0.02)
+
+    def test_source_order_preserved(self):
+        a = np.arange(100, dtype=np.int64)
+        b = np.arange(1000, 1100, dtype=np.int64)
+        mixed = mix_traces([a, b], weights=[1, 1], n_requests=150, seed=2)
+        from_a = [x for x in mixed if x < 1000]
+        assert from_a == sorted(from_a)
+
+    def test_recycles_when_exhausted(self):
+        a = np.array([7, 8], dtype=np.int64)
+        mixed = mix_traces([a], weights=[1], n_requests=7, seed=3)
+        assert list(mixed) == [7, 8, 7, 8, 7, 8, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mix_traces([np.array([1])], weights=[1, 2], n_requests=5)
+        with pytest.raises(ValueError):
+            mix_traces([np.array([1])], weights=[0], n_requests=5)
+
+
+class TestSharding:
+    def test_shard_count_and_content(self):
+        trace = np.arange(10, dtype=np.int64)
+        shards = shard_trace(trace, 3)
+        assert len(shards) == 3
+        assert np.array_equal(np.concatenate(shards), trace)
+
+    def test_round_robin_interleave(self):
+        shards = [np.array([0, 1]), np.array([10, 11]), np.array([20, 21])]
+        merged = interleave_shards(shards, mode="round_robin")
+        assert list(merged) == [0, 10, 20, 1, 11, 21]
+
+    def test_round_robin_uneven_shards(self):
+        shards = [np.array([0, 1, 2]), np.array([10])]
+        merged = interleave_shards(shards, mode="round_robin")
+        assert sorted(merged) == [0, 1, 2, 10]
+        assert len(merged) == 4
+
+    def test_random_interleave_preserves_multiset(self):
+        trace = np.arange(100, dtype=np.int64)
+        merged = interleave_shards(shard_trace(trace, 7), mode="random", seed=5)
+        assert sorted(merged) == list(range(100))
+
+    def test_random_interleave_perturbs_order(self):
+        trace = np.arange(1000, dtype=np.int64)
+        merged = concurrent_view(trace, 8, mode="random", seed=5)
+        assert not np.array_equal(merged, trace)
+
+    def test_single_client_passthrough(self):
+        trace = np.arange(10, dtype=np.int64)
+        assert np.array_equal(concurrent_view(trace, 1), trace)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            interleave_shards([np.array([1])], mode="zigzag")
+
+    def test_empty_input(self):
+        assert len(interleave_shards([])) == 0
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            shard_trace(np.array([1]), 0)

@@ -1,0 +1,36 @@
+"""YCSB-D multi-client insert semantics: disjoint per-client key ranges."""
+
+from repro.workloads import YCSBConfig, YCSBWorkload
+
+
+def _insert_keys(client_id, count=5000, n_keys=1000):
+    wl = YCSBWorkload(
+        YCSBConfig(workload="D", n_keys=n_keys, seed=1, client_id=client_id)
+    )
+    return [key for op, key in wl.requests(count) if op == "insert"]
+
+
+def test_clients_insert_into_disjoint_ranges():
+    a = set(_insert_keys(client_id=0))
+    b = set(_insert_keys(client_id=1))
+    assert a and b
+    assert not (a & b)
+
+
+def test_client_zero_inserts_continue_base_range():
+    inserts = _insert_keys(client_id=0, n_keys=1000)
+    assert inserts[0] == 1000
+    assert inserts == sorted(inserts)
+
+
+def test_reads_cover_base_and_own_inserts():
+    wl = YCSBWorkload(
+        YCSBConfig(workload="D", n_keys=1000, seed=2, client_id=3)
+    )
+    requests = wl.requests(20_000)
+    own_base = 1000 + 3 * (1 << 20)
+    reads = [key for op, key in requests if op == "read"]
+    assert any(key < 1000 for key in reads)  # base records
+    assert any(key >= own_base for key in reads)  # own fresh inserts
+    # never reads another client's insert range
+    assert all(key < 1000 or key >= own_base for key in reads)
