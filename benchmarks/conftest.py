@@ -2,4 +2,38 @@
 
 Each benchmark regenerates one paper figure/table at the active scale
 (``REPRO_SCALE`` = quick | full) and asserts the paper's qualitative shape.
+
+Set ``REPRO_PROFILE=1`` to wrap every benchmark in cProfile; a ``.prof``
+file per test lands under ``.profiles/`` (inspect with ``python -m pstats``
+or snakeviz).
 """
+
+import cProfile
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+PROFILE_DIR = Path(".profiles")
+
+
+def _profile_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE") == "1"
+
+
+@pytest.fixture(autouse=True)
+def _repro_profile(request):
+    """Per-test cProfile dump, opt-in via REPRO_PROFILE=1."""
+    if not _profile_enabled():
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        PROFILE_DIR.mkdir(exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+        profiler.dump_stats(PROFILE_DIR / f"{stem}.prof")

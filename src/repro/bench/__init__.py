@@ -1,6 +1,13 @@
 """Experiment harness: drivers, result formatting, and scaling knobs."""
 
 from .format import format_table, print_table
+from .parallel import (
+    ExperimentJob,
+    JobOutcome,
+    ParallelRunner,
+    ResultCache,
+    run_grid,
+)
 from .runner import (
     Feed,
     Harness,
@@ -12,14 +19,19 @@ from .runner import (
 from .scale import scale_name, scaled
 
 __all__ = [
+    "ExperimentJob",
     "Feed",
     "Harness",
+    "JobOutcome",
     "MeasureResult",
+    "ParallelRunner",
+    "ResultCache",
     "format_table",
     "make_value",
     "pack_key",
     "preload",
     "print_table",
+    "run_grid",
     "scale_name",
     "scaled",
 ]

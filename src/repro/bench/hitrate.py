@@ -33,20 +33,28 @@ def make_hit_cache(system: str, capacity: int, seed: int = 0):
 def replay(cache, trace: Sequence[int]) -> float:
     """Replay a trace (miss inserts, as a miss-penalty Set would); returns
     the overall hit rate."""
-    access = cache.access
-    for key in trace:
-        access(int(key))
+    access_many = getattr(cache, "access_many", None)
+    if access_many is not None:
+        access_many(np.asarray(trace))
+    else:
+        access = cache.access
+        for key in trace:
+            access(int(key))
     return cache.hit_rate()
 
 
 def replay_windowed(cache, trace: Sequence[int], windows: int) -> List[float]:
     """Hit rate per consecutive trace window (for phase/timeline figures)."""
     spans = np.array_split(np.asarray(trace), windows)
+    access_many = getattr(cache, "access_many", None)
     rates: List[float] = []
     for span in spans:
         h0, m0 = cache.hits, cache.misses
-        for key in span:
-            cache.access(int(key))
+        if access_many is not None:
+            access_many(span)
+        else:
+            for key in span:
+                cache.access(int(key))
         total = cache.hits + cache.misses - h0 - m0
         rates.append((cache.hits - h0) / total if total else 0.0)
     return rates

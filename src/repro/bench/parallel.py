@@ -1,0 +1,318 @@
+"""Parallel experiment fan-out with an on-disk result cache.
+
+Every (experiment, grid-point, seed) simulation in this repository is
+deterministic and independent — the same structure rack-scale simulators
+(DRackSim, CXL-ClusterSim) exploit for parallel per-node simulation and
+cached sweep results.  This module applies it to the benchmark suite:
+
+- :class:`ExperimentJob` — one unit of work: a spawn-safe reference to a
+  module-level callable (``"pkg.module:attr"``) plus keyword params and an
+  optional seed.
+- :class:`ResultCache` — a JSON file per completed job, keyed by the SHA-256
+  of ``(experiment, params, seed, REPRO_SCALE)``.  Re-running an unchanged
+  grid simulates nothing.
+- :class:`ParallelRunner` — shards jobs across a ``ProcessPoolExecutor``
+  (spawn context, so workers never inherit interpreter state) and merges
+  results **in submission order**, making parallel output byte-identical to
+  a serial run of the same jobs.
+
+Jobs run with stdout captured, so experiment tables print exactly once, in
+order, from the parent process.  The runner counts how many jobs were
+actually simulated vs served from cache; ``summary()`` exposes both.
+
+Usage::
+
+    from repro.bench.parallel import ExperimentJob, ParallelRunner
+
+    jobs = [ExperimentJob("fig04", "repro.bench.experiments.fig04_cache_size:run",
+                          params={"n_requests": 150_000}, seed=3)]
+    runner = ParallelRunner(workers=4)
+    outcomes = runner.run(jobs)          # [JobOutcome, ...] in submission order
+    print(runner.summary())              # {'jobs': 1, 'simulated': 1, 'cached': 0, ...}
+
+or from the CLI: ``python -m repro.bench.run_all -j 4``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import io
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .scale import scale_name
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".bench_cache"
+
+#: Cache file schema version; bump to invalidate every cached result.
+CACHE_SCHEMA = 1
+
+
+def jsonify(value: Any) -> Any:
+    """Convert an experiment result into plain JSON types.
+
+    numpy scalars/arrays become Python numbers/lists, tuples become lists,
+    dict keys become strings.  Deterministic: equal inputs always serialize
+    to equal bytes, which is what makes cached results comparable across
+    serial and parallel runs.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    # numpy scalars expose item(); arrays expose tolist().
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return jsonify(value.item())
+    if hasattr(value, "tolist"):
+        return jsonify(value.tolist())
+    raise TypeError(f"result of type {type(value).__name__} is not cacheable")
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One deterministic unit of benchmark work."""
+
+    #: Experiment name (cache-key component and display label).
+    experiment: str
+    #: Spawn-safe callable reference, ``"package.module:attr"``.  The worker
+    #: re-imports the module, so the callable must be module-level.
+    fn: str
+    #: Keyword arguments for the callable (must be JSON-serializable).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Optional seed, passed as the ``seed=`` keyword when not None.
+    seed: Optional[int] = None
+
+    def key(self, scale: Optional[str] = None) -> str:
+        """Cache key: SHA-256 over (experiment, fn, params, seed, scale)."""
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "experiment": self.experiment,
+                "fn": self.fn,
+                "params": jsonify(self.params),
+                "seed": self.seed,
+                "scale": scale if scale is not None else scale_name(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JobOutcome:
+    """What one job produced (simulated or replayed from cache)."""
+
+    job: ExperimentJob
+    result: Any
+    stdout: str
+    cached: bool
+    elapsed_s: float
+
+
+class ResultCache:
+    """One JSON file per completed job under ``directory``."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = Path(
+            directory
+            or os.environ.get("REPRO_CACHE_DIR")
+            or DEFAULT_CACHE_DIR
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)  # atomic: concurrent runners never see torn files
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def execute_job(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job in the current process; module-level for spawn safety.
+
+    ``spec`` is the job as a plain dict (picklable); returns
+    ``{"result": <jsonified>, "stdout": <captured text>}``.
+    """
+    module_name, _, attr = spec["fn"].partition(":")
+    if not attr:
+        raise ValueError(f"job fn must look like 'module:attr', got {spec['fn']!r}")
+    fn = getattr(importlib.import_module(module_name), attr)
+    kwargs = dict(spec.get("params") or {})
+    if spec.get("seed") is not None:
+        kwargs["seed"] = spec["seed"]
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        result = fn(**kwargs)
+    return {"result": jsonify(result), "stdout": buffer.getvalue()}
+
+
+class ParallelRunner:
+    """Shard jobs across worker processes; merge in submission order.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers=1`` (or a single
+    job) runs inline in this process, which keeps small runs free of pool
+    startup cost.  Either way results are identical — workers are pure
+    functions of the job spec.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.simulated = 0
+        self.cached = 0
+        self.elapsed_s = 0.0
+
+    def run(self, jobs: Sequence[ExperimentJob]) -> List[JobOutcome]:
+        started = time.perf_counter()
+        scale = scale_name()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        # Serve cache hits first; only misses travel to the pool.
+        pending: List[int] = []
+        for i, job in enumerate(jobs):
+            entry = self.cache.get(job.key(scale)) if self.cache else None
+            if entry is not None:
+                self.cached += 1
+                outcomes[i] = JobOutcome(
+                    job=job,
+                    result=entry["result"],
+                    stdout=entry.get("stdout", ""),
+                    cached=True,
+                    elapsed_s=0.0,
+                )
+            else:
+                pending.append(i)
+
+        if pending:
+            specs = [
+                {
+                    "fn": jobs[i].fn,
+                    "params": jobs[i].params,
+                    "seed": jobs[i].seed,
+                }
+                for i in pending
+            ]
+            if self.workers == 1 or len(pending) == 1:
+                raws = [self._timed(execute_job, spec) for spec in specs]
+            else:
+                # spawn: workers import modules fresh, never inheriting
+                # engine or rng state from the parent — determinism holds
+                # regardless of what the parent has already simulated.
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending)),
+                    mp_context=get_context("spawn"),
+                ) as pool:
+                    raws = list(pool.map(self._timed_remote, specs))
+            for i, (raw, elapsed) in zip(pending, raws):
+                self.simulated += 1
+                job = jobs[i]
+                if self.cache is not None:
+                    self.cache.put(
+                        job.key(scale),
+                        {
+                            "experiment": job.experiment,
+                            "fn": job.fn,
+                            "params": jsonify(job.params),
+                            "seed": job.seed,
+                            "scale": scale,
+                            "result": raw["result"],
+                            "stdout": raw["stdout"],
+                        },
+                    )
+                outcomes[i] = JobOutcome(
+                    job=job,
+                    result=raw["result"],
+                    stdout=raw["stdout"],
+                    cached=False,
+                    elapsed_s=elapsed,
+                )
+
+        self.elapsed_s += time.perf_counter() - started
+        return [o for o in outcomes if o is not None]
+
+    @staticmethod
+    def _timed(fn, spec):
+        t0 = time.perf_counter()
+        raw = fn(spec)
+        return raw, time.perf_counter() - t0
+
+    @staticmethod
+    def _timed_remote(spec):
+        # Runs inside the worker process (must be importable → staticmethod
+        # of a module-level class).
+        t0 = time.perf_counter()
+        raw = execute_job(spec)
+        return raw, time.perf_counter() - t0
+
+    def summary(self) -> Dict[str, Any]:
+        """Counters for the run: how much was simulated vs replayed."""
+        return {
+            "jobs": self.simulated + self.cached,
+            "simulated": self.simulated,
+            "cached": self.cached,
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def run_grid(
+    experiment: str,
+    fn: str,
+    grid: Sequence[Dict[str, Any]],
+    seeds: Sequence[Optional[int]] = (None,),
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> List[JobOutcome]:
+    """Fan a parameter grid × seeds out across workers.
+
+    Returns outcomes in ``(grid-point, seed)`` submission order — the same
+    order a serial double loop would produce.
+    """
+    jobs = [
+        ExperimentJob(experiment=experiment, fn=fn, params=dict(point), seed=seed)
+        for point in grid
+        for seed in seeds
+    ]
+    runner = ParallelRunner(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+    return runner.run(jobs)

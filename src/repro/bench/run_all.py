@@ -2,13 +2,22 @@
 
 Usage::
 
-    python -m repro.bench.run_all              # quick scale
+    python -m repro.bench.run_all                   # serial, quick scale
+    python -m repro.bench.run_all -j 4              # 4 worker processes + cache
+    python -m repro.bench.run_all -j 4 --no-cache   # parallel, always simulate
+    python -m repro.bench.run_all --clear-cache     # drop cached results
     REPRO_SCALE=full python -m repro.bench.run_all
-    python -m repro.bench.run_all fig14 fig24  # a subset
+    python -m repro.bench.run_all fig14 fig24       # a subset
+
+With ``-j`` the experiments fan out over a process pool and completed runs
+are memoized in an on-disk result cache (``.bench_cache/`` by default, or
+``REPRO_CACHE_DIR``), so a re-run of an unchanged grid replays instantly.
+Output is merged in submission order — byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -35,6 +44,7 @@ from .experiments import (
     fig25_fc_cache_size,
     tab02_workload_catalog,
 )
+from .parallel import ExperimentJob, ParallelRunner, ResultCache
 from .scale import scale_name
 
 EXPERIMENTS = {
@@ -62,18 +72,99 @@ EXPERIMENTS = {
 }
 
 
-def main(argv=None) -> int:
-    names = (argv if argv is not None else sys.argv[1:]) or list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
-        return 2
-    print(f"scale: {scale_name()}")
+def _parse(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.run_all", add_help=True, allow_abbrev=False
+    )
+    parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument(
+        "-j",
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan experiments out over N worker processes (with result cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with -j: always simulate, never read or write cached results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default .bench_cache or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete all cached results and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def _run_serial(names) -> None:
     for name in names:
         started = time.time()
         print(f"\n########## {name} ##########")
         EXPERIMENTS[name].main()
         print(f"[{name} done in {time.time() - started:.1f}s]")
+
+
+def _run_parallel(names, workers, use_cache, cache_dir) -> None:
+    jobs = [
+        ExperimentJob(
+            experiment=name,
+            fn=f"{EXPERIMENTS[name].__name__}:main",
+        )
+        for name in names
+    ]
+    runner = ParallelRunner(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache
+    )
+    outcomes = runner.run(jobs)
+    for outcome in outcomes:
+        print(f"\n########## {outcome.job.experiment} ##########")
+        # The experiment's own table output, replayed in submission order.
+        sys.stdout.write(outcome.stdout)
+        if outcome.cached:
+            print(f"[{outcome.job.experiment}: cached]")
+        else:
+            print(
+                f"[{outcome.job.experiment}: simulated in {outcome.elapsed_s:.1f}s]"
+            )
+    s = runner.summary()
+    print(
+        f"\nparallel runner: {s['jobs']} jobs "
+        f"({s['simulated']} simulated, {s['cached']} cached) "
+        f"on {s['workers']} workers in {s['elapsed_s']}s"
+    )
+
+
+def main(argv=None) -> int:
+    args = _parse(argv if argv is not None else sys.argv[1:])
+    if args.clear_cache:
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cleared {removed} cached results")
+        return 0
+    if args.parallel is not None and args.parallel < 1:
+        print("error: -j/--parallel requires a positive worker count")
+        return 2
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    print(f"scale: {scale_name()}")
+    if args.parallel is not None:
+        _run_parallel(
+            names,
+            workers=args.parallel,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        _run_serial(names)
     return 0
 
 

@@ -18,8 +18,10 @@ import random
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.adaptive import ExpertWeights, bitmap_of
-from ..core.history import HISTORY_WRAP, history_age, is_expired
+from ..core.history import HISTORY_WRAP
 from ..core.policies import CachePolicy, Metadata, make_policy
 
 
@@ -65,6 +67,28 @@ class SampledAdaptiveCache:
         self._store: Dict[object, Metadata] = {}
         self._keys: List[object] = []
         self._key_pos: Dict[object, int] = {}
+        # Hit-path fast list: bound methods of policies whose ``update`` is
+        # overridden.  LRU/LFU/MRU/FIFO/SIZE/HYPERBOLIC inherit the no-op
+        # base update, so the common adaptive (lru, lfu) configuration does
+        # zero policy calls per hit.
+        self._live_updates: Tuple = tuple(
+            p.update
+            for p in self.policies
+            if type(p).update is not CachePolicy.update
+        )
+        # Same idea for the insert path.  The base on_insert just delegates
+        # to update, so a policy overriding neither contributes nothing.
+        self._live_on_inserts: Tuple = tuple(
+            p.on_insert
+            for p in self.policies
+            if type(p).on_insert is not CachePolicy.on_insert
+            or type(p).update is not CachePolicy.update
+        )
+        self._live_on_evicts: Tuple = tuple(
+            p.on_evict
+            for p in self.policies
+            if type(p).on_evict is not CachePolicy.on_evict
+        )
         # Eviction history: key -> (history_id, expert_bitmap), plus a FIFO
         # of (history_id, key) for lazy pruning of expired entries.
         self._history: Dict[object, Tuple[int, int]] = {}
@@ -118,8 +142,8 @@ class SampledAdaptiveCache:
         meta = self._store.get(key)
         if meta is not None:
             meta.freq += 1
-            for policy in self.policies:
-                policy.update(meta, now)
+            for update in self._live_updates:
+                update(meta, now)
             meta.last_ts = now
             self.hits += 1
             return True
@@ -127,6 +151,42 @@ class SampledAdaptiveCache:
         self._collect_regret(key)
         self._insert(key, size, cost, now)
         return False
+
+    def access_many(self, keys) -> int:
+        """Batched :meth:`access` over a request array; returns hits added.
+
+        Decodes a numpy key array once (``tolist`` — no per-element
+        ``int()`` boxing) and keeps the hit path free of instance-attribute
+        churn by binding everything hot into locals.  State transitions are
+        identical to calling ``access`` in a loop: same rng draws, same
+        eviction/history/regret sequence, bit-for-bit equal metrics.
+        """
+        if isinstance(keys, np.ndarray):
+            seq = keys.tolist()
+        else:
+            seq = [int(k) for k in keys]
+        store_get = self._store.get
+        updates = self._live_updates
+        tick = self._tick
+        hits = 0
+        for key in seq:
+            tick += 1
+            meta = store_get(key)
+            if meta is not None:
+                meta.freq += 1
+                if updates:
+                    for update in updates:
+                        update(meta, tick)
+                meta.last_ts = tick
+                hits += 1
+            else:
+                self._tick = tick
+                self.misses += 1
+                self._collect_regret(key)
+                self._insert(key, 1, 1.0, tick)
+        self._tick = tick
+        self.hits += hits
+        return hits
 
     def lookup(self, key) -> bool:
         """A Get that does *not* insert on miss (for read-only probes)."""
@@ -137,8 +197,8 @@ class SampledAdaptiveCache:
             self._collect_regret(key)
             return False
         meta.freq += 1
-        for policy in self.policies:
-            policy.update(meta, self._tick)
+        for update in self._live_updates:
+            update(meta, self._tick)
         meta.last_ts = self._tick
         self.hits += 1
         return True
@@ -155,8 +215,8 @@ class SampledAdaptiveCache:
         meta = Metadata(
             size=size, insert_ts=now, last_ts=now, freq=1, cost=cost
         )
-        for policy in self.policies:
-            policy.on_insert(meta, now)
+        for on_insert in self._live_on_inserts:
+            on_insert(meta, now)
         self._store[key] = meta
         self._add_key(key)
 
@@ -172,36 +232,49 @@ class SampledAdaptiveCache:
 
     def _evict(self, now: int) -> None:
         sampled = self._sample()
+        store = self._store
+        metas = [store[k] for k in sampled]
         candidates = []
         for policy in self.policies:
-            best = min(
-                sampled, key=lambda k: policy.priority(self._store[k], now)
-            )
-            candidates.append(best)
+            priority = policy.priority
+            # Equivalent to min(...) over the sample but with the store
+            # lookups hoisted; strict < keeps the first minimum, like min().
+            best_key = sampled[0]
+            best_p = priority(metas[0], now)
+            for i in range(1, len(metas)):
+                p = priority(metas[i], now)
+                if p < best_p:
+                    best_p = p
+                    best_key = sampled[i]
+            candidates.append(best_key)
         choice = self.weights.choose() if self.adaptive else 0
         victim = candidates[choice]
         bitmap = bitmap_of(candidates, victim)
         meta = self._store.pop(victim)
         self._remove_key(victim)
-        for policy in self.policies:
-            policy.on_evict(meta, now)
+        for on_evict in self._live_on_evicts:
+            on_evict(meta, now)
         self._record_history(victim, bitmap)
         self.evictions += 1
 
     def _record_history(self, key, bitmap: int) -> None:
+        # The modular age arithmetic of history.is_expired is inlined here
+        # (and in _collect_regret): this runs once per eviction, and the
+        # trace-replay tier does hundreds of thousands of evictions/sec.
         history_id = self._history_counter % HISTORY_WRAP
+        counter = (self._history_counter + 1) % HISTORY_WRAP
         self._history_counter += 1
-        self._history[key] = (history_id, bitmap)
-        self._history_fifo.append((history_id, key))
+        history = self._history
+        history[key] = (history_id, bitmap)
+        fifo = self._history_fifo
+        fifo.append((history_id, key))
         # Lazy pruning keeps the dict bounded at ~history_size entries.
-        while self._history_fifo and is_expired(
-            self._history_counter % HISTORY_WRAP,
-            self._history_fifo[0][0],
-            self.history_size,
-        ):
-            old_id, old_key = self._history_fifo.popleft()
-            if self._history.get(old_key, (None, None))[0] == old_id:
-                del self._history[old_key]
+        size = self.history_size
+        while fifo and (counter - fifo[0][0]) % HISTORY_WRAP > size:
+            old_id, old_key = fifo.popleft()
+            entry = history.get(old_key)
+            if entry is not None and entry[0] == old_id:
+                del history[old_key]
 
     def _collect_regret(self, key) -> None:
         if not self.adaptive:
@@ -211,7 +284,8 @@ class SampledAdaptiveCache:
             return
         history_id, bitmap = entry
         counter = self._history_counter % HISTORY_WRAP
-        if is_expired(counter, history_id, self.history_size):
+        age = (counter - history_id) % HISTORY_WRAP
+        if age > self.history_size:
             return
         self.regrets += 1
-        self.weights.apply_regret(bitmap, history_age(counter, history_id))
+        self.weights.apply_regret(bitmap, age)

@@ -45,6 +45,7 @@ class MemoryNode:
         self.node_id = node_id
         self.base = base
         self.size = size
+        self._end = base + size  # immutable; cached for the bounds hot path
         self.params = params or NetworkParams()
         self._memory = bytearray(size)
         #: The node's RNIC: a serial message pipe shared by all clients.
@@ -56,18 +57,19 @@ class MemoryNode:
 
     @property
     def end(self) -> int:
-        return self.base + self.size
+        return self._end
 
     def contains(self, addr: int, length: int = 1) -> bool:
-        return self.base <= addr and addr + length <= self.end
+        return self.base <= addr and addr + length <= self._end
 
     def _offset(self, addr: int, length: int) -> int:
-        if not self.contains(addr, length):
+        off = addr - self.base
+        if off < 0 or addr + length > self._end:
             raise MemoryAccessError(
                 f"access [{addr}, {addr + length}) outside node {self.node_id} "
                 f"range [{self.base}, {self.end})"
             )
-        return addr - self.base
+        return off
 
     # -- raw memory operations (instantaneous; timing lives in verbs) ---
 

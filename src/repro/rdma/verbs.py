@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..memory.node import MemoryNode, MemoryPool
-from ..sim import CounterSet, Engine, Process
+from ..sim import CounterSet, Engine, Process, Timeout
 from .params import NetworkParams
 
 _COUNTER_KEYS = {
@@ -33,6 +33,22 @@ _COUNTER_KEYS = {
 
 class RdmaEndpoint:
     """A client-side RDMA endpoint (one per simulated client thread)."""
+
+    __slots__ = (
+        "engine",
+        "pool",
+        "params",
+        "counters",
+        "_single_node",
+        "_lead",
+        "_lag",
+        "_inv_bw",
+        "_base_read",
+        "_base_write",
+        "_base_cas8",
+        "_base_faa8",
+        "_base_rpc",
+    )
 
     def __init__(
         self,
@@ -49,6 +65,19 @@ class RdmaEndpoint:
         self._single_node = pool.nodes[0] if len(pool.nodes) == 1 else None
         self._lead = self.params.client_overhead_us + self.params.one_way_us()
         self._lag = self.params.one_way_us()
+        # Per-verb NIC service costs, precomputed once: params are immutable
+        # after endpoint construction, and verbs run millions of times per
+        # experiment, so the dict lookup + division in nic_service_us() is
+        # pure per-call overhead.  CAS/FAA always carry 8-byte payloads, so
+        # their full cost folds into one constant.
+        p = self.params
+        rate = p.nic_rate_mops
+        self._inv_bw = 1.0 / p.bandwidth_bytes_per_us
+        self._base_read = p.verb_costs["read"] / rate
+        self._base_write = p.verb_costs["write"] / rate
+        self._base_cas8 = p.verb_costs["cas"] / rate + 8.0 * self._inv_bw
+        self._base_faa8 = p.verb_costs["faa"] / rate + 8.0 * self._inv_bw
+        self._base_rpc = p.verb_costs["rpc"] / rate
 
     def _node_for(self, addr: int, length: int) -> MemoryNode:
         node = self._single_node
@@ -62,8 +91,10 @@ class RdmaEndpoint:
         """RDMA_READ: returns ``length`` bytes from remote memory."""
         node = self._node_for(addr, length)
         self.counters.add("rdma_read")
-        yield from node.nic.serve(
-            self.params.nic_service_us("read", length), self._lead, self._lag
+        yield Timeout(
+            node.nic.book(
+                self._base_read + length * self._inv_bw, self._lead, self._lag
+            )
         )
         return node.read_bytes(addr, length)
 
@@ -71,8 +102,10 @@ class RdmaEndpoint:
         """RDMA_WRITE: stores ``data`` at ``addr``."""
         node = self._node_for(addr, len(data))
         self.counters.add("rdma_write")
-        yield from node.nic.serve(
-            self.params.nic_service_us("write", len(data)), self._lead, self._lag
+        yield Timeout(
+            node.nic.book(
+                self._base_write + len(data) * self._inv_bw, self._lead, self._lag
+            )
         )
         node.write_bytes(addr, data)
 
@@ -83,18 +116,14 @@ class RdmaEndpoint:
         """
         node = self._node_for(addr, 8)
         self.counters.add("rdma_cas")
-        yield from node.nic.serve(
-            self.params.nic_service_us("cas", 8), self._lead, self._lag
-        )
+        yield Timeout(node.nic.book(self._base_cas8, self._lead, self._lag))
         return node.compare_and_swap(addr, expected, new)
 
     def faa(self, addr: int, delta: int) -> Generator:
         """RDMA_FAA on an 8-byte word; returns the old value."""
         node = self._node_for(addr, 8)
         self.counters.add("rdma_faa")
-        yield from node.nic.serve(
-            self.params.nic_service_us("faa", 8), self._lead, self._lag
-        )
+        yield Timeout(node.nic.book(self._base_faa8, self._lead, self._lag))
         return node.fetch_and_add(addr, delta)
 
     def charge(self, node: MemoryNode, verb: str, payload: int = 8) -> Generator:
@@ -105,8 +134,10 @@ class RdmaEndpoint:
         same NIC as everything else without maintaining byte layouts.
         """
         self.counters.add(_COUNTER_KEYS[verb])
-        yield from node.nic.serve(
-            self.params.nic_service_us(verb, payload), self._lead, self._lag
+        yield Timeout(
+            node.nic.book(
+                self.params.nic_service_us(verb, payload), self._lead, self._lag
+            )
         )
 
     # -- RPC to the memory-node controller --------------------------------
@@ -116,12 +147,12 @@ class RdmaEndpoint:
         if node.controller is None:
             raise RuntimeError(f"memory node {node.node_id} has no controller")
         self.counters.add("rdma_rpc")
-        yield from node.nic.serve(
-            self.params.nic_service_us("rpc", size), self._lead, 0.0
+        yield Timeout(
+            node.nic.book(self._base_rpc + size * self._inv_bw, self._lead, 0.0)
         )
         result = yield from node.controller.serve(op, payload)
-        yield from node.nic.serve(
-            self.params.nic_service_us("write", size), 0.0, self._lag
+        yield Timeout(
+            node.nic.book(self._base_write + size * self._inv_bw, 0.0, self._lag)
         )
         return result
 

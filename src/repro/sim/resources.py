@@ -35,6 +35,8 @@ class Resource:
     or the one-shot helper ``yield from resource.serve(service_time)``.
     """
 
+    __slots__ = ("engine", "_capacity", "_in_use", "_waiters")
+
     def __init__(self, engine: Engine, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -113,6 +115,8 @@ class RateLimiter:
     messages per experiment).
     """
 
+    __slots__ = ("engine", "_free_at", "messages")
+
     def __init__(self, engine: Engine, parallelism: int = 1):
         if parallelism < 1:
             raise SimulationError(f"parallelism must be >= 1, got {parallelism}")
@@ -135,33 +139,45 @@ class RateLimiter:
         if parallelism > len(current):
             current.extend([now] * (parallelism - len(current)))
         else:
+            # Keep the *busiest* (largest free-at) slots: work already booked
+            # on the pipe must survive an elasticity shrink.  Dropping the
+            # largest times instead would silently cancel queued service.
             current.sort()
-            self._free_at = current[:parallelism]
+            self._free_at = current[len(current) - parallelism :]
 
-    def serve(
+    def book(
         self, service_time: float, lead_us: float = 0.0, lag_us: float = 0.0
-    ) -> Generator:
-        """Queue for the pipe and resume when served.
+    ) -> float:
+        """Book the pipe; returns the delay from *now* until service is done.
 
         ``lead_us`` models time before the job reaches the pipe (client
         overhead + network flight) and ``lag_us`` time after service (the
         response flight); both are folded into the booking math so the whole
-        verb costs a single engine event.  The caller resumes at
-        ``finish + lag_us``.
+        verb costs a single engine event.  Callers yield
+        ``Timeout(book(...))`` directly — the verb layer does this to avoid a
+        nested generator per message on the hot path.
         """
         self.messages += 1
-        now = self.engine.now
+        now = self.engine._now
         arrival = now + lead_us
+        free_at = self._free_at
         slot = 0
-        earliest = self._free_at[0]
-        if len(self._free_at) > 1:
-            for i, t in enumerate(self._free_at):
+        earliest = free_at[0]
+        if len(free_at) > 1:
+            for i, t in enumerate(free_at):
                 if t < earliest:
                     earliest, slot = t, i
         start = earliest if earliest > arrival else arrival
         finish = start + service_time
-        self._free_at[slot] = finish
-        yield Timeout(finish + lag_us - now)
+        free_at[slot] = finish
+        return finish + lag_us - now
+
+    def serve(
+        self, service_time: float, lead_us: float = 0.0, lag_us: float = 0.0
+    ) -> Generator:
+        """Generator form of :meth:`book` (queue for the pipe, resume when
+        served); kept for non-hot-path callers and tests."""
+        yield Timeout(self.book(service_time, lead_us, lag_us))
 
 
 class Lock:
@@ -171,6 +187,8 @@ class Lock:
     on memory words (see ``repro.baselines.shard_lru``); this class only
     protects state shared by co-located simulated threads.
     """
+
+    __slots__ = ("_resource",)
 
     def __init__(self, engine: Engine):
         self._resource = Resource(engine, 1)

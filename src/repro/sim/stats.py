@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -108,10 +109,11 @@ class CounterSet:
     """Named monotonically increasing counters (RDMA ops, hits, misses...)."""
 
     def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+        # defaultdict keeps the per-verb accounting hot path to one dict op.
+        self._counts: Dict[str, int] = defaultdict(int)
 
     def add(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        self._counts[name] += amount
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)

@@ -1,0 +1,44 @@
+"""Tests for the substrate self-benchmark (repro.bench.meta)."""
+
+import json
+
+from repro.bench import meta
+
+
+def test_bench_engine_counts_every_event():
+    result = meta.bench_engine(processes=4, events_per_process=50)
+    assert result["events"] == 4 * 50 + 4
+    assert result["events_per_sec"] > 0
+
+
+def test_bench_rdma_serves_all_verbs():
+    result = meta.bench_rdma(clients=2, verbs_per_client=100)
+    assert result["verbs"] == 200
+    assert result["verbs_per_sec"] > 0
+
+
+def test_bench_cachesim_replays_trace():
+    result = meta.bench_cachesim(n_accesses=5000, n_keys=512, capacity=128)
+    assert result["accesses"] == 5000
+    assert 0.0 < result["hit_rate"] < 1.0
+    assert result["evictions"] > 0
+
+
+def test_main_writes_report(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "speed.json"
+    # Shrink the workloads so the smoke test stays fast.
+    engine_fn, rdma_fn, cache_fn = (
+        meta.bench_engine,
+        meta.bench_rdma,
+        meta.bench_cachesim,
+    )
+    monkeypatch.setattr(meta, "bench_engine", lambda: engine_fn(4, 50))
+    monkeypatch.setattr(meta, "bench_rdma", lambda: rdma_fn(2, 100))
+    monkeypatch.setattr(meta, "bench_cachesim", lambda: cache_fn(5000, 512, 128))
+    assert meta.main([str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["headline"]["engine_events_per_sec"] > 0
+    assert report["headline"]["cachesim_accesses_per_sec"] > 0
+    assert report["headline"]["rdma_verbs_per_sec"] > 0
+    assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,219 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import json
+
+import pytest
+
+from repro.bench.parallel import (
+    ExperimentJob,
+    ParallelRunner,
+    ResultCache,
+    execute_job,
+    jsonify,
+    run_grid,
+)
+
+FIG04 = "repro.bench.experiments.fig04_cache_size:run"
+TINY = {"n_requests": 3000, "n_keys": 256, "size_fracs": (0.1, 0.4)}
+
+
+# -- jsonify ---------------------------------------------------------------
+
+
+def test_jsonify_plain_types_roundtrip():
+    value = {"a": 1, "b": [1.5, "x", None, True], "c": {"d": (1, 2)}}
+    assert jsonify(value) == {"a": 1, "b": [1.5, "x", None, True], "c": {"d": [1, 2]}}
+
+
+def test_jsonify_numpy():
+    np = pytest.importorskip("numpy")
+    assert jsonify(np.int64(7)) == 7
+    assert jsonify(np.float64(0.5)) == 0.5
+    assert jsonify(np.array([1, 2, 3])) == [1, 2, 3]
+
+
+def test_jsonify_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        jsonify(object())
+
+
+# -- cache keys ------------------------------------------------------------
+
+
+def test_job_key_is_stable():
+    job = ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)
+    assert job.key("quick") == job.key("quick")
+
+
+def test_job_key_varies_by_every_component():
+    base = ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)
+    keys = {
+        base.key("quick"),
+        base.key("full"),
+        ExperimentJob("fig05", FIG04, params=dict(TINY), seed=3).key("quick"),
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=4).key("quick"),
+        ExperimentJob(
+            "fig04", FIG04, params={**TINY, "n_keys": 128}, seed=3
+        ).key("quick"),
+    }
+    assert len(keys) == 5
+
+
+def test_job_key_ignores_param_order():
+    a = ExperimentJob("x", FIG04, params={"a": 1, "b": 2})
+    b = ExperimentJob("x", FIG04, params={"b": 2, "a": 1})
+    assert a.key("quick") == b.key("quick")
+
+
+# -- result cache ----------------------------------------------------------
+
+
+def test_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get("deadbeef") is None
+    cache.put("deadbeef", {"result": [1, 2], "stdout": "hi\n"})
+    assert cache.get("deadbeef") == {"result": [1, 2], "stdout": "hi\n"}
+    assert cache.clear() == 1
+    assert cache.get("deadbeef") is None
+
+
+def test_cache_ignores_corrupt_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    (tmp_path / "bad.json").write_text("{not json", encoding="utf-8")
+    assert cache.get("bad") is None
+
+
+# -- execute_job -----------------------------------------------------------
+
+
+def test_execute_job_runs_and_captures_stdout():
+    raw = execute_job({"fn": FIG04, "params": TINY, "seed": 3})
+    assert raw["stdout"] == ""  # run() prints nothing
+    rows = raw["result"]["rows"]
+    assert [r["cache_frac"] for r in rows] == [0.1, 0.4]
+
+
+def test_execute_job_rejects_bad_fn():
+    with pytest.raises(ValueError):
+        execute_job({"fn": "no.colon.here", "params": {}})
+
+
+# -- the runner ------------------------------------------------------------
+
+
+def test_runner_results_in_submission_order(tmp_path):
+    jobs = [
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=s)
+        for s in (5, 1, 9)
+    ]
+    runner = ParallelRunner(workers=1, cache_dir=tmp_path)
+    outcomes = runner.run(jobs)
+    assert [o.job.seed for o in outcomes] == [5, 1, 9]
+    assert runner.summary()["simulated"] == 3
+
+
+def test_second_run_hits_cache_with_zero_simulations(tmp_path):
+    jobs = [ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)]
+    first = ParallelRunner(workers=1, cache_dir=tmp_path)
+    a = first.run(jobs)
+    assert first.summary()["simulated"] == 1
+    assert first.summary()["cached"] == 0
+
+    second = ParallelRunner(workers=1, cache_dir=tmp_path)
+    b = second.run(jobs)
+    assert second.summary()["simulated"] == 0
+    assert second.summary()["cached"] == 1
+    assert b[0].cached and not a[0].cached
+    # Replayed results are byte-identical to the simulated ones.
+    assert json.dumps(a[0].result, sort_keys=True) == json.dumps(
+        b[0].result, sort_keys=True
+    )
+
+
+def test_no_cache_mode_always_simulates(tmp_path):
+    jobs = [ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)]
+    for _ in range(2):
+        runner = ParallelRunner(workers=1, use_cache=False)
+        runner.run(jobs)
+        assert runner.summary() == {
+            "jobs": 1,
+            "simulated": 1,
+            "cached": 0,
+            "workers": 1,
+            "elapsed_s": runner.summary()["elapsed_s"],
+        }
+
+
+def test_parallel_equals_serial_byte_identical(tmp_path):
+    """The acceptance bar: same seeds -> same metrics, pool or no pool."""
+    jobs = [
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=s) for s in (3, 4)
+    ]
+    serial = ParallelRunner(workers=1, use_cache=False).run(jobs)
+    pooled = ParallelRunner(workers=2, use_cache=False).run(jobs)
+    assert json.dumps([o.result for o in serial], sort_keys=True) == json.dumps(
+        [o.result for o in pooled], sort_keys=True
+    )
+
+
+def test_run_grid_orders_by_point_then_seed(tmp_path):
+    grid = [{**TINY, "size_fracs": (f,)} for f in (0.1, 0.4)]
+    outcomes = run_grid(
+        "fig04", FIG04, grid, seeds=(3, 4), workers=1, cache_dir=tmp_path
+    )
+    order = [(o.job.params["size_fracs"][0], o.job.seed) for o in outcomes]
+    assert order == [(0.1, 3), (0.1, 4), (0.4, 3), (0.4, 4)]
+
+
+def test_runner_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        ParallelRunner(workers=0)
+
+
+# -- run_all CLI integration ----------------------------------------------
+
+
+def test_run_all_parallel_matches_serial_output(tmp_path, capsys, monkeypatch):
+    from repro.bench import run_all
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert run_all.main(["tab02"]) == 0
+    serial_out = capsys.readouterr().out
+
+    assert run_all.main(["-j", "1", "tab02"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert run_all.main(["-j", "1", "tab02"]) == 0
+    cached_out = capsys.readouterr().out
+
+    def table_of(text):
+        # The experiment's own lines, without harness timing/summary chrome.
+        lines = [
+            line
+            for line in text.splitlines()
+            if not line.startswith(("[", "parallel runner:", "scale:"))
+        ]
+        while lines and not lines[-1]:
+            lines.pop()
+        return lines
+
+    assert table_of(serial_out) == table_of(parallel_out) == table_of(cached_out)
+    assert "(1 simulated, 0 cached)" in parallel_out
+    assert "(0 simulated, 1 cached)" in cached_out
+
+
+def test_run_all_rejects_nonpositive_workers(capsys):
+    from repro.bench import run_all
+
+    for flag in ("0", "-3"):
+        assert run_all.main(["-j", flag, "tab02"]) == 2
+        assert "positive worker count" in capsys.readouterr().out
+
+
+def test_run_all_clear_cache(tmp_path, capsys, monkeypatch):
+    from repro.bench import run_all
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert run_all.main(["-j", "1", "tab02"]) == 0
+    capsys.readouterr()
+    assert run_all.main(["--clear-cache"]) == 0
+    assert "cleared 1 cached results" in capsys.readouterr().out

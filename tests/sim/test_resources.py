@@ -162,3 +162,129 @@ def test_resource_rejects_bad_capacity():
     resource = Resource(engine, 1)
     with pytest.raises(SimulationError):
         resource.set_capacity(0)
+
+
+def test_capacity_shrink_then_drain_releases_to_new_limit():
+    """After a shrink, releases stop handing slots to waiters until in_use
+    falls below the new capacity, then serving resumes at the new width."""
+    engine = Engine()
+    resource = Resource(engine, capacity=3)
+    done = []
+
+    def worker(name, service):
+        yield from resource.serve(service)
+        done.append((name, engine.now))
+
+    for name in "abc":
+        engine.spawn(worker(name, 10.0))
+    for name in "de":
+        engine.spawn(worker(name, 10.0))
+    engine.run(until=1.0)
+    assert resource.in_use == 3 and resource.queue_length == 2
+    resource.set_capacity(1)
+    engine.run()
+    # a,b,c drain at t=10 (holders keep slots); then strictly one at a time:
+    # d runs 10->20, e runs 20->30.
+    assert [t for _, t in done] == [10.0, 10.0, 10.0, 20.0, 30.0]
+    assert resource.in_use == 0
+
+
+def test_capacity_shrink_grow_cycle_preserves_fifo():
+    engine = Engine()
+    resource = Resource(engine, capacity=2)
+    done = []
+
+    def worker(name):
+        yield from resource.serve(10.0)
+        done.append(name)
+
+    for name in "abcdef":
+        engine.spawn(worker(name))
+    engine.run(until=1.0)
+    resource.set_capacity(1)
+    engine.run(until=15.0)  # a,b done at 10; only c admitted (new cap 1)
+    assert resource.in_use == 1
+    resource.set_capacity(3)  # growth wakes d,e immediately
+    engine.run()
+    assert done == list("abcdef")
+
+
+def test_rate_limiter_shrink_preserves_booked_backlog():
+    """Shrinking parallelism keeps the *busiest* slots: work already booked
+    on the pipe must survive an elasticity shrink (regression test for the
+    earliest-slot-keeping bug)."""
+    engine = Engine()
+    nic = RateLimiter(engine, parallelism=2)
+    finish = []
+
+    def sender(cost):
+        yield from nic.serve(cost)
+        finish.append(engine.now)
+
+    # Book slot 0 out to t=100 and slot 1 out to t=40.
+    engine.spawn(sender(100.0))
+    engine.spawn(sender(40.0))
+    engine.run(until=0.0)
+    assert nic.backlog_us == pytest.approx(100.0)
+    nic.set_parallelism(1)
+    # The busiest booking (t=100) must survive the shrink...
+    assert nic.backlog_us == pytest.approx(100.0)
+
+    # ...so new work queues behind it instead of overlapping it.
+    engine.spawn(sender(5.0))
+    engine.run()
+    assert finish == [40.0, 100.0, 105.0]
+
+
+def test_rate_limiter_grow_adds_idle_slots_at_now():
+    engine = Engine()
+    nic = RateLimiter(engine, parallelism=1)
+    finish = []
+
+    def sender(cost):
+        yield from nic.serve(cost)
+        finish.append(engine.now)
+
+    engine.spawn(sender(50.0))
+    engine.run(until=10.0)
+    nic.set_parallelism(3)
+    # New slots are free immediately: two new jobs run in parallel at t=10.
+    engine.spawn(sender(5.0))
+    engine.spawn(sender(5.0))
+    engine.run()
+    assert finish == [15.0, 15.0, 50.0]
+
+
+def test_rate_limiter_shrink_grow_shrink_keeps_largest():
+    engine = Engine()
+    nic = RateLimiter(engine, parallelism=3)
+
+    def sender(cost):
+        yield from nic.serve(cost)
+
+    for cost in (30.0, 20.0, 10.0):
+        engine.spawn(sender(cost))
+    engine.run(until=0.0)
+    nic.set_parallelism(2)
+    assert sorted(nic._free_at) == [20.0, 30.0]
+    nic.set_parallelism(1)
+    assert nic._free_at == [30.0]
+
+
+def test_rate_limiter_book_matches_serve():
+    """book() is the non-generator core of serve(): same booking math."""
+    e1, e2 = Engine(), Engine()
+    nic1, nic2 = RateLimiter(e1), RateLimiter(e2)
+    delays = [nic1.book(2.0, 1.0, 0.5) for _ in range(3)]
+    finish = []
+
+    def sender():
+        yield from nic2.serve(2.0, 1.0, 0.5)
+        finish.append(e2.now)
+
+    for _ in range(3):
+        e2.spawn(sender())
+    e2.run()
+    assert delays == [3.5, 5.5, 7.5]
+    assert finish == [3.5, 5.5, 7.5]
+    assert nic1.messages == nic2.messages == 3
