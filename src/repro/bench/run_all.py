@@ -22,6 +22,7 @@ import sys
 import time
 
 from .experiments import (
+    extra_fault_recovery,
     extra_history_size,
     extra_sample_size,
     fig01_redis_elasticity,
@@ -69,6 +70,7 @@ EXPERIMENTS = {
     "tab02": tab02_workload_catalog,
     "extra-samples": extra_sample_size,
     "extra-history": extra_history_size,
+    "extra-faults": extra_fault_recovery,
 }
 
 

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.client import CacheOperationError
 from ..sim import Engine, LatencyStats, ThroughputSeries, Timeout
 
 _KEY = struct.Struct("<Q")
@@ -102,11 +103,18 @@ class Harness:
         value_size: int = 232,
         miss_penalty_us: float = 0.0,
         series_bucket_us: float = 100_000.0,
+        tolerate_failures: bool = False,
     ):
+        """``tolerate_failures`` keeps a driver alive when an operation
+        fails permanently (:class:`CacheOperationError`) — required for
+        chaos runs, where a retry-exhausted Set is a data point, not a
+        reason to unwind the engine."""
         self.engine = engine
         self.value = make_value(value_size)
         self.miss_penalty_us = miss_penalty_us
         self.series = ThroughputSeries(series_bucket_us)
+        self.tolerate_failures = tolerate_failures
+        self.failed_ops = 0
         self._flags: List[dict] = []
         self._measuring = False
         self._ops = 0
@@ -119,11 +127,17 @@ class Harness:
     # -- client management ------------------------------------------------
 
     def launch(self, client, feed: Feed) -> dict:
-        """Start a closed-loop driver for ``client``; returns a stop handle."""
-        flag = {"stop": False}
+        """Start a closed-loop driver for ``client``; returns a stop handle.
+
+        The handle records the driver process and the client so fault
+        injection can kill a specific client's loop mid-operation.
+        """
+        flag = {"stop": False, "client": client}
         self._flags.append(flag)
         self._clients.append(client)
-        self.engine.spawn(self._loop(client, feed, flag), name="driver")
+        flag["process"] = self.engine.spawn(
+            self._loop(client, feed, flag), name="driver"
+        )
         return flag
 
     def launch_all(self, clients: Sequence, feeds: Sequence[Feed]) -> List[dict]:
@@ -148,22 +162,59 @@ class Harness:
             op, key_id = feed.next()
             key = pack_key(key_id)
             start = engine.now
-            if op == READ:
-                result = yield from client.get(key)
-                if result is None:
-                    if self.miss_penalty_us:
-                        # Fetch from the backing store, then fill the cache.
-                        yield Timeout(self.miss_penalty_us)
+            try:
+                if op == READ:
+                    result = yield from client.get(key)
+                    if result is None:
+                        if self.miss_penalty_us:
+                            # Fetch from the backing store, then fill the cache.
+                            yield Timeout(self.miss_penalty_us)
+                        yield from client.set(key, value)
+                    if self._measuring:
+                        self._get_lat.record(engine.now - start)
+                else:
                     yield from client.set(key, value)
-                if self._measuring:
-                    self._get_lat.record(engine.now - start)
-            else:
-                yield from client.set(key, value)
-                if self._measuring:
-                    self._set_lat.record(engine.now - start)
+                    if self._measuring:
+                        self._set_lat.record(engine.now - start)
+            except CacheOperationError:
+                if not self.tolerate_failures:
+                    raise
+                self.failed_ops += 1
+                continue
             if self._measuring:
                 self._ops += 1
                 self.series.record(engine.now)
+
+    # -- fault injection ---------------------------------------------------
+
+    def schedule_crashes(self, cluster, crashes, offset_us: float = 0.0) -> None:
+        """Arm :class:`~repro.sim.faults.ClientCrash` events.
+
+        Each crash kills the victim's driver process at the given simulated
+        instant — mid-operation, at whatever yield boundary it happens to be
+        parked on — and then notifies the cluster so recovery can run.
+        ``offset_us`` shifts the (plan-relative) crash times, typically by
+        ``engine.now`` after warmup.
+        """
+        for crash in crashes:
+            self.engine.spawn(
+                self._crash_watcher(cluster, crash, offset_us),
+                name=f"crash_watcher_{crash.client_index}",
+            )
+
+    def _crash_watcher(self, cluster, crash, offset_us: float):
+        at = offset_us + crash.at_us
+        delay = at - self.engine.now
+        if delay > 0:
+            yield Timeout(delay)
+        victim = cluster.clients[crash.client_index]
+        for flag in self._flags:
+            if flag.get("client") is victim:
+                flag["stop"] = True
+                process = flag.get("process")
+                if process is not None:
+                    process.kill()
+        cluster.crash_client(crash.client_index)
 
     # -- measurement windows -----------------------------------------------------
 

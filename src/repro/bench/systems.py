@@ -19,6 +19,9 @@ def build_ditto(
     object_bytes: int = 256,
     seed: int = 7,
     max_capacity_objects: Optional[int] = None,
+    num_memory_nodes: int = 1,
+    faults=None,
+    segment_bytes: int = 256 * 1024,
     **config_kwargs,
 ) -> DittoCluster:
     config = DittoConfig(policies=tuple(policies), **config_kwargs)
@@ -28,7 +31,10 @@ def build_ditto(
         num_clients=num_clients,
         config=config,
         seed=seed,
+        segment_bytes=segment_bytes,
         max_capacity_objects=max_capacity_objects,
+        num_memory_nodes=num_memory_nodes,
+        faults=faults,
     )
 
 

@@ -5,6 +5,7 @@ from .cache import DittoCache, DittoCluster
 from .client import CacheOperationError, DittoClient
 from .config import DittoConfig
 from .fc_cache import FrequencyCounterCache
+from .invariants import InvariantViolation, sweep as invariant_sweep
 from .history import (
     HISTORY_WRAP,
     RemoteFifoHistory,
@@ -32,6 +33,8 @@ __all__ = [
     "FrequencyCounterCache",
     "GlobalWeights",
     "HISTORY_WRAP",
+    "InvariantViolation",
+    "invariant_sweep",
     "Metadata",
     "POLICY_REGISTRY",
     "RemoteFifoHistory",

@@ -25,7 +25,9 @@ from ..memory import (
     StripedAllocator,
 )
 from ..rdma.params import NetworkParams
-from ..sim import CounterSet, Engine
+from ..rdma.verbs import RdmaFaultError
+from ..sim import CounterSet, Engine, Timeout
+from ..sim.faults import FaultInjector, FaultPlan
 from .adaptive import GlobalWeights
 from .client import DittoClient
 from .config import DittoConfig
@@ -49,6 +51,7 @@ class DittoCluster:
         engine: Optional[Engine] = None,
         max_capacity_objects: Optional[int] = None,
         num_memory_nodes: int = 1,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ):
         """``max_capacity_objects`` provisions the memory pool for future
         elastic growth (default: the initial capacity); ``resize_memory``
@@ -65,6 +68,15 @@ class DittoCluster:
         self.engine = engine or Engine()
         self.config = config or DittoConfig()
         self.params = params or NetworkParams()
+        # Fault injection: ``None`` (the default) keeps every path — verbs,
+        # clients, recovery — on the zero-overhead healthy fast path and the
+        # outputs byte-identical to a build without this subsystem.
+        if faults is None:
+            self.fault_injector: Optional[FaultInjector] = None
+        elif isinstance(faults, FaultInjector):
+            self.fault_injector = faults
+        else:
+            self.fault_injector = FaultInjector(self.engine, faults)
         self.seed = seed
         self.segment_bytes = segment_bytes
         self.capacity_objects = capacity_objects
@@ -176,6 +188,103 @@ class DittoCluster:
             )
         self.capacity_objects = capacity_objects
         self.budget.resize(capacity_objects * self.block_bytes_per_object)
+
+    # -- crash recovery (fault injection only) ------------------------------
+
+    def crash_client(self, index: int) -> None:
+        """Record that client ``index`` died and schedule its recovery.
+
+        The caller (normally :meth:`repro.bench.runner.Harness` acting on a
+        :class:`~repro.sim.faults.ClientCrash` event) kills the client's
+        driver process at a yield boundary; this method handles the cluster
+        side: mark the client dead and, after ``crash_detect_us`` (the
+        liveness-lease expiry of the out-of-band quota service), have a
+        surviving client reclaim whatever the dead one leaked.
+        """
+        client = self.clients[index]
+        if client.dead:
+            return
+        client.dead = True
+        self.counters.add("client_crash")
+        self.engine.spawn(
+            self._recovery_process(client), name=f"recover_client_{index}"
+        )
+
+    def _recovery_process(self, dead):
+        yield Timeout(self.config.crash_detect_us)
+        survivor = next((c for c in self.clients if not c.dead), None)
+        if survivor is None:
+            return  # nobody left to recover; the sweep will flag leaks
+        try:
+            yield from self.recover_client(dead, survivor)
+        except RdmaFaultError:
+            # Recovery gave up after exhausting its generous retry budget
+            # (counter ``crash_recovery_failed``); don't unwind the engine.
+            pass
+
+    def recover_client(self, dead, survivor):
+        """Reclaim everything a crashed client leaked, as ``survivor``.
+
+        Three steps, mirroring what a real deployment's lease-based
+        metadata service enables:
+
+        1. *Undo log*: the dead client's in-flight op markers
+           (``_pending_block``/``_pending_budget``) name the block and
+           budget it held but had not committed; return both.
+        2. *Grant reconciliation*: ask every controller for the dead
+           client's segment grants (``list_segments`` RPC) and diff against
+           its client-side records — a grant the client never learned about
+           (killed mid-RPC) is returned via ``free_segment``.
+        3. *Adoption*: the survivor absorbs the dead allocator's free
+           lists, bump remainder, and spare regions so the memory stays
+           usable.
+        """
+        if dead._pending_block is not None:
+            addr, span = dead._pending_block
+            dead._pending_block = None
+            survivor.alloc.free(addr, span)
+            self.counters.add("crash_block_reclaimed")
+        if dead._pending_budget:
+            self.budget.release(dead._pending_budget)
+            dead._pending_budget = 0
+        for node in self.nodes:
+            granted = yield from self._recovery_rpc(
+                survivor, node, "list_segments", dead.client_id
+            )
+            dead_alloc = dead.alloc.allocator_for_node(node)
+            recorded = set(dead_alloc.segments)
+            for addr, size in granted:
+                if (addr, size) in recorded:
+                    continue
+                # In-flight grant: the controller handed it out but the
+                # client died before the response landed.
+                yield from self._recovery_rpc(
+                    survivor, node, "free_segment", (addr, size)
+                )
+                self.counters.add("crash_segment_returned")
+        survivor.alloc.adopt(dead.alloc)
+        self.counters.add("crash_recovery")
+
+    def _recovery_rpc(self, survivor, node, op, payload):
+        """A recovery RPC with (generous) fault retries: recovery itself can
+        run inside the fault window that caused the crash."""
+        attempt = 0
+        while True:
+            try:
+                result = yield from survivor.ep.rpc(node, op, payload)
+                return result
+            except RdmaFaultError:
+                attempt += 1
+                if attempt > 1000:
+                    # Persistently unreachable; give up rather than spin the
+                    # engine forever.  The invariant sweep will report the
+                    # unreconciled state.
+                    self.counters.add("crash_recovery_failed")
+                    raise
+                self.counters.add("fault_retry")
+                delay = survivor._backoff_us(min(attempt, 8))
+                if delay > 0.0:
+                    yield Timeout(delay)
 
     # -- aggregated statistics ----------------------------------------------
 

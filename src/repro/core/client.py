@@ -30,9 +30,10 @@ import random
 import struct
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..memory import ClientAllocator, StripedAllocator
+from ..memory import ClientAllocator, OutOfMemoryError, StripedAllocator
 from ..memory.node import BLOCK_SIZE
-from ..rdma.verbs import RdmaEndpoint
+from ..rdma.verbs import NodeUnavailable, RdmaEndpoint, RdmaFaultError
+from ..sim import Timeout
 from . import layout as L
 from .adaptive import ExpertWeights, bitmap_of
 from .fc_cache import FrequencyCounterCache
@@ -46,7 +47,37 @@ COUNTER_REFRESH_PERIOD = 64
 
 
 class CacheOperationError(RuntimeError):
-    """An operation exhausted its retry budget (extreme contention)."""
+    """An operation failed permanently (retry budget or deadline exhausted).
+
+    Carries the operation, key, and attempt context so a failed run is
+    debuggable: ``op``/``key``/``reason``/``attempts``/``fault_attempts``/
+    ``elapsed_us`` and the underlying fault in ``cause`` (if any).
+    """
+
+    def __init__(
+        self,
+        op: str,
+        key: bytes,
+        reason: str,
+        attempts: int = 0,
+        fault_attempts: int = 0,
+        elapsed_us: float = 0.0,
+        cause: Optional[BaseException] = None,
+    ):
+        self.op = op
+        self.key = key
+        self.reason = reason
+        self.attempts = attempts
+        self.fault_attempts = fault_attempts
+        self.elapsed_us = elapsed_us
+        self.cause = cause
+        detail = f"{op}({key!r}) {reason} [attempts={attempts}"
+        if fault_attempts:
+            detail += f", fault_attempts={fault_attempts}"
+        detail += f", elapsed={elapsed_us:.1f}us"
+        if cause is not None:
+            detail += f", cause={cause!r}"
+        super().__init__(detail + "]")
 
 
 def encode_ext(fields: Sequence[str], ext: Dict[str, float]) -> bytes:
@@ -78,10 +109,17 @@ class DittoClient:
         self.budget = cluster.budget
         self.node = cluster.node
         self.rng = random.Random((seed * 1_000_003 + client_id) & 0xFFFFFFFF)
+        self.counters = cluster.counters
         self.ep = RdmaEndpoint(
-            self.engine, cluster.pool, cluster.params, counters=cluster.counters
+            self.engine,
+            cluster.pool,
+            cluster.params,
+            counters=cluster.counters,
+            faults=getattr(cluster, "fault_injector", None),
         )
-        self.alloc = StripedAllocator(self.ep, cluster.nodes, cluster.segment_bytes)
+        self.alloc = StripedAllocator(
+            self.ep, cluster.nodes, cluster.segment_bytes, owner=client_id
+        )
         self.policies = [make_policy(name) for name in self.config.policies]
         self.ext_fields: Tuple[str, ...] = cluster.ext_fields
         self.ext_bytes = 8 * len(self.ext_fields)
@@ -99,6 +137,18 @@ class DittoClient:
         )
         self._counter_cache = 0
         self._counter_fresh = False
+        # -- fault tolerance ------------------------------------------------
+        #: True once this client has been crashed by fault injection.
+        self.dead = False
+        #: Block allocated for the in-flight op but not yet linked into the
+        #: table (or freed); reclaimed by crash recovery if we die here.
+        self._pending_block: Optional[Tuple[int, int]] = None
+        #: Budget consumed for the in-flight op but not yet committed.
+        self._pending_budget = 0
+        #: Lease repair is active only when the cluster injects faults: maps
+        #: suspect slot addr -> (atomic value, first seen at).
+        self._repair_enabled = getattr(cluster, "fault_injector", None) is not None
+        self._suspects: Dict[int, Tuple[int, float]] = {}
         # -- statistics -----------------------------------------------------
         self.hits = 0
         self.misses = 0
@@ -112,6 +162,21 @@ class DittoClient:
 
     def _now(self) -> int:
         return int(self.engine.now)
+
+    def _backoff_us(self, fault_attempt: int) -> float:
+        """Exponential backoff with jitter for fault retry ``fault_attempt``
+        (1-based).  Returns 0 when backoff is disabled."""
+        base = self.config.retry_backoff_us
+        if base <= 0.0:
+            return 0.0
+        delay = base * (2 ** (fault_attempt - 1))
+        ceiling = self.config.retry_backoff_max_us
+        if ceiling > 0.0 and delay > ceiling:
+            delay = ceiling
+        jitter = self.config.retry_jitter
+        if jitter > 0.0:
+            delay *= 1.0 + jitter * self.rng.random()
+        return delay
 
     def _read_bucket(self, bucket: int) -> Generator:
         """Fetch and parse all slots of a bucket.
@@ -173,7 +238,35 @@ class DittoClient:
     # ------------------------------------------------------------------
 
     def get(self, key: bytes) -> Generator:
-        """Look up ``key``; returns the value bytes or None on a miss."""
+        """Look up ``key``; returns the value bytes or None on a miss.
+
+        Degrades instead of failing: a verb lost to fault injection is
+        retried with backoff, and an unreachable memory node (or exhausted
+        retry budget) turns the lookup into a miss — the caller refills the
+        cache from the backing store rather than aborting the run.
+        """
+        fault_attempts = 0
+        while True:
+            try:
+                result = yield from self._get_once(key)
+                return result
+            except NodeUnavailable:
+                # The MN is down for a whole outage window; retrying within
+                # one op is pointless.  Miss through and move on.
+                break
+            except RdmaFaultError:
+                fault_attempts += 1
+                if fault_attempts > self.config.fault_retries:
+                    break
+                self.counters.add("fault_retry")
+                delay = self._backoff_us(fault_attempts)
+                if delay > 0.0:
+                    yield Timeout(delay)
+        self.counters.add("fault_miss_through")
+        self.misses += 1
+        return None
+
+    def _get_once(self, key: bytes) -> Generator:
         key_hash = L.stable_hash64(key)
         fp = L.fingerprint(key_hash)
         bucket = self.layout.bucket_index(key_hash)
@@ -190,6 +283,8 @@ class DittoClient:
                 self._touch(key, slot, ext_raw)
                 self.hits += 1
                 return value
+        if self._repair_enabled:
+            yield from self._repair_suspects(slots)
         yield from self._handle_miss(slots, key_hash)
         self.misses += 1
         return None
@@ -239,16 +334,131 @@ class DittoClient:
             self.weights.set_weights(new_weights)
 
     # ------------------------------------------------------------------
+    # Lease repair (fault injection only)
+    # ------------------------------------------------------------------
+
+    def _repair_suspects(self, slots: List[L.Slot]) -> Generator:
+        """Reclaim half-installed slots whose metadata write was lost.
+
+        A dropped unsignalled metadata WRITE leaves an object slot with
+        ``key_hash == insert_ts == last_ts == 0``: the object exists but can
+        never match a lookup by hash.  Any reader that sees such a slot with
+        the *same* atomic word twice, ``repair_lease_us`` apart, CASes it
+        back to empty and returns the block.  Actively-used objects self-heal
+        out of suspicion (a hit re-posts ``last_ts``), and a concurrent
+        legitimate rewrite changes the atomic word, which resets the lease.
+        """
+        now = self.engine.now
+        lease = self.config.repair_lease_us
+        for slot in slots:
+            if not slot.is_object:
+                self._suspects.pop(slot.addr, None)
+                continue
+            if slot.key_hash != 0 or slot.insert_ts != 0 or slot.last_ts != 0:
+                self._suspects.pop(slot.addr, None)
+                continue
+            seen = self._suspects.get(slot.addr)
+            if seen is None or seen[0] != slot.atomic:
+                self._suspects[slot.addr] = (slot.atomic, now)
+                continue
+            if now - seen[1] < lease:
+                continue
+            old = yield from self.ep.cas(slot.addr, slot.atomic, 0)
+            del self._suspects[slot.addr]
+            if old != slot.atomic:
+                continue  # lost the repair race (or the slot got rewritten)
+            self.alloc.free(slot.pointer, slot.object_bytes)
+            self.budget.release(slot.object_bytes)
+            self.cluster.object_count -= 1
+            self.counters.add("lease_repair")
+
+    def repair_scan(self) -> Generator:
+        """Scrub the whole hash table for abandoned half-installed slots.
+
+        Crash recovery and chaos tests use this; regular traffic repairs
+        opportunistically via the Get miss path.  Chunked READs keep verb
+        sizes realistic.  Two passes ``repair_lease_us`` apart are needed
+        before anything is reclaimed (the lease must expire).
+        """
+        lay = self.layout
+        chunk = 128
+        index = 0
+        while index < lay.total_slots:
+            count = min(chunk, lay.total_slots - index)
+            addr = lay.slot_addr(index)
+            raw = yield from self.ep.read(addr, count * L.SLOT_SIZE)
+            slots = L.parse_slots(index, addr, raw, count)
+            yield from self._repair_suspects(slots)
+            index += count
+
+    # ------------------------------------------------------------------
     # Set
     # ------------------------------------------------------------------
 
     def set(self, key: bytes, value: bytes) -> Generator:
-        """Insert or update ``key``; evicts as needed to make room."""
-        for _attempt in range(self.config.max_retries):
-            done = yield from self._try_set(key, value)
-            if done:
-                return True
-        raise CacheOperationError(f"set({key!r}) exhausted retries")
+        """Insert or update ``key``; evicts as needed to make room.
+
+        CAS races retry up to ``max_retries`` (unchanged from the paper's
+        lock-free protocol); injected faults get their own bounded budget
+        with exponential backoff + jitter; ``op_deadline_us`` (if set) caps
+        the whole operation.  A controller OOM forces an eviction and a
+        retry instead of escaping the engine loop.
+        """
+        start = self.engine.now
+        deadline = (
+            start + self.config.op_deadline_us
+            if self.config.op_deadline_us > 0.0
+            else None
+        )
+        cas_attempts = 0
+        fault_attempts = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                done = yield from self._try_set(key, value)
+            except OutOfMemoryError as err:
+                # Structured failure from the controller's alloc_segment RPC:
+                # reclaim space and retry rather than unwinding the run.
+                self.counters.add("alloc_oom")
+                evicted = yield from self._evict_once()
+                if not evicted:
+                    raise CacheOperationError(
+                        "set", key, "memory nodes exhausted and nothing evictable",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start, cause=err,
+                    )
+                done = False
+            except RdmaFaultError as err:
+                fault_attempts += 1
+                if fault_attempts > self.config.fault_retries:
+                    raise CacheOperationError(
+                        "set", key, "fault retries exhausted",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start, cause=err,
+                    )
+                self.counters.add("fault_retry")
+                delay = self._backoff_us(fault_attempts)
+                if delay > 0.0:
+                    yield Timeout(delay)
+                done = False
+            else:
+                if done:
+                    return True
+                cas_attempts += 1
+                if cas_attempts >= self.config.max_retries:
+                    raise CacheOperationError(
+                        "set", key, "exhausted retries (extreme contention)",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start,
+                    )
+            if deadline is not None and self.engine.now >= deadline:
+                raise CacheOperationError(
+                    "set", key,
+                    f"op deadline ({self.config.op_deadline_us:.0f}us) exceeded",
+                    attempts=attempts, fault_attempts=fault_attempts,
+                    elapsed_us=self.engine.now - start,
+                )
 
     def _initial_ext(self, size_bytes: int, now: int) -> bytes:
         if not self.ext_fields:
@@ -292,17 +502,37 @@ class DittoClient:
             done = yield from self._update_object(key, value, slot, ext_raw)
             return done
 
-        # Fresh insert.
+        # Fresh insert.  The budget consumption and the freshly allocated
+        # block are recorded as *pending* until the CAS commits; there is no
+        # yield between any verb resume and the matching bookkeeping, so the
+        # markers exactly capture what a crash at any instant would leak and
+        # crash recovery can undo them.
         span = L.object_span(len(key), len(value), self.ext_bytes)
         block_bytes = ClientAllocator.blocks_for(span) * BLOCK_SIZE
         if ClientAllocator.blocks_for(span) > L.MAX_SIZE_BLOCKS:
             raise ValueError(f"object too large for the slot size field: {span}B")
         yield from self._ensure_space(block_bytes)
-        addr = yield from self.alloc.alloc(span)
+        self._pending_budget = block_bytes
+        try:
+            addr = yield from self.alloc.alloc(span)
+        except (OutOfMemoryError, RdmaFaultError):
+            self.budget.release(block_bytes)
+            self._pending_budget = 0
+            raise
+        self._pending_block = (addr, span)
         ext = self._initial_ext(block_bytes, now)
-        yield from self.ep.write(addr, L.encode_object(key, value, ext))
-        new_atomic = L.pack_atomic(addr, fp, ClientAllocator.blocks_for(span))
-        done = yield from self._claim_slot(bucket, slots, new_atomic, key_hash, now)
+        try:
+            yield from self.ep.write(addr, L.encode_object(key, value, ext))
+            new_atomic = L.pack_atomic(addr, fp, ClientAllocator.blocks_for(span))
+            done = yield from self._claim_slot(bucket, slots, new_atomic, key_hash, now)
+        except RdmaFaultError:
+            self.alloc.free(addr, span)
+            self.budget.release(block_bytes)
+            self._pending_block = None
+            self._pending_budget = 0
+            raise
+        self._pending_block = None
+        self._pending_budget = 0
         if not done:
             self.alloc.free(addr, span)
             self.budget.release(block_bytes)
@@ -315,10 +545,26 @@ class DittoClient:
         span = L.object_span(len(key), len(value), self.ext_bytes)
         block_bytes = ClientAllocator.blocks_for(span) * BLOCK_SIZE
         yield from self._ensure_space(block_bytes)
-        addr = yield from self.alloc.alloc(span)
-        yield from self.ep.write(addr, L.encode_object(key, value, ext_raw))
-        new_atomic = L.pack_atomic(addr, slot.fp, ClientAllocator.blocks_for(span))
-        old = yield from self.ep.cas(slot.addr, slot.atomic, new_atomic)
+        self._pending_budget = block_bytes
+        try:
+            addr = yield from self.alloc.alloc(span)
+        except (OutOfMemoryError, RdmaFaultError):
+            self.budget.release(block_bytes)
+            self._pending_budget = 0
+            raise
+        self._pending_block = (addr, span)
+        try:
+            yield from self.ep.write(addr, L.encode_object(key, value, ext_raw))
+            new_atomic = L.pack_atomic(addr, slot.fp, ClientAllocator.blocks_for(span))
+            old = yield from self.ep.cas(slot.addr, slot.atomic, new_atomic)
+        except RdmaFaultError:
+            self.alloc.free(addr, span)
+            self.budget.release(block_bytes)
+            self._pending_block = None
+            self._pending_budget = 0
+            raise
+        self._pending_block = None
+        self._pending_budget = 0
         if old != slot.atomic:
             self.alloc.free(addr, span)
             self.budget.release(block_bytes)
@@ -407,7 +653,8 @@ class DittoClient:
                 consecutive_failures += 1
                 if consecutive_failures > self.config.max_retries:
                     raise CacheOperationError(
-                        "cannot reclaim space (eviction storm)"
+                        "evict", b"", "cannot reclaim space (eviction storm)",
+                        attempts=consecutive_failures,
                     )
 
     def _sample_slots(self) -> Generator:
@@ -509,30 +756,61 @@ class DittoClient:
 
     def delete(self, key: bytes) -> Generator:
         """Remove ``key``; returns True if it was cached."""
+        start = self.engine.now
         key_hash = L.stable_hash64(key)
         fp = L.fingerprint(key_hash)
         bucket = self.layout.bucket_index(key_hash)
-        for _attempt in range(self.config.max_retries):
-            slots = yield from self._read_bucket(bucket)
-            match = None
-            for slot in slots:
-                if not (slot.is_object and slot.fp == fp):
-                    continue
-                raw = yield from self.ep.read(slot.pointer, slot.object_bytes)
-                try:
-                    found_key, _value, _ext = L.decode_object(raw)
-                except (ValueError, struct.error):
-                    continue
-                if found_key == key:
-                    match = slot
-                    break
-            if match is None:
-                return False
-            old = yield from self.ep.cas(match.addr, match.atomic, 0)
-            if old != match.atomic:
+        cas_attempts = 0
+        fault_attempts = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                outcome = yield from self._delete_once(key, fp, bucket)
+            except RdmaFaultError as err:
+                fault_attempts += 1
+                if fault_attempts > self.config.fault_retries:
+                    raise CacheOperationError(
+                        "delete", key, "fault retries exhausted",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start, cause=err,
+                    )
+                self.counters.add("fault_retry")
+                delay = self._backoff_us(fault_attempts)
+                if delay > 0.0:
+                    yield Timeout(delay)
                 continue
-            self.alloc.free(match.pointer, match.object_bytes)
-            self.budget.release(match.object_bytes)
-            self.cluster.object_count -= 1
-            return True
-        raise CacheOperationError(f"delete({key!r}) exhausted retries")
+            if outcome is not None:
+                return outcome
+            cas_attempts += 1
+            if cas_attempts >= self.config.max_retries:
+                raise CacheOperationError(
+                    "delete", key, "exhausted retries (extreme contention)",
+                    attempts=attempts, fault_attempts=fault_attempts,
+                    elapsed_us=self.engine.now - start,
+                )
+
+    def _delete_once(self, key: bytes, fp: int, bucket: int) -> Generator:
+        """One delete attempt: True/False on a decision, None on a CAS race."""
+        slots = yield from self._read_bucket(bucket)
+        match = None
+        for slot in slots:
+            if not (slot.is_object and slot.fp == fp):
+                continue
+            raw = yield from self.ep.read(slot.pointer, slot.object_bytes)
+            try:
+                found_key, _value, _ext = L.decode_object(raw)
+            except (ValueError, struct.error):
+                continue
+            if found_key == key:
+                match = slot
+                break
+        if match is None:
+            return False
+        old = yield from self.ep.cas(match.addr, match.atomic, 0)
+        if old != match.atomic:
+            return None
+        self.alloc.free(match.pointer, match.object_bytes)
+        self.budget.release(match.object_bytes)
+        self.cluster.object_count -= 1
+        return True

@@ -38,6 +38,25 @@ class DittoConfig:
     #: Hash-table slots allocated per cached object (object + history + slack).
     slot_factor: float = 4.0
 
+    # -- fault tolerance (only exercised under fault injection) ------------
+    #: Extra attempts when a verb times out or an RPC is lost.
+    fault_retries: int = 3
+    #: Base backoff before a fault retry; doubles per attempt (0 disables).
+    retry_backoff_us: float = 20.0
+    #: Backoff ceiling for the exponential fault-retry schedule.
+    retry_backoff_max_us: float = 2_000.0
+    #: Jitter fraction: each backoff is stretched by up to this much, drawn
+    #: from the client's deterministic RNG (decorrelates retry storms).
+    retry_jitter: float = 0.5
+    #: Wall-clock budget (simulated us) for one Set/Delete; 0 disables.
+    op_deadline_us: float = 0.0
+    #: Lease age after which a half-installed slot (its metadata write was
+    #: lost) may be reclaimed by any reader.
+    repair_lease_us: float = 1_000.0
+    #: Delay between a client crash and a survivor starting recovery (models
+    #: liveness-lease expiry at the quota/metadata service).
+    crash_detect_us: float = 500.0
+
     # -- ablation switches (Figure 24) ------------------------------------
     #: Sample-friendly hash table: metadata in slots, 1-READ sampling.
     use_sfht: bool = True
@@ -55,6 +74,18 @@ class DittoConfig:
             raise ValueError("need at least one policy")
         if self.sample_size < 1:
             raise ValueError("sample_size must be >= 1")
+        if self.fault_retries < 0:
+            raise ValueError("fault_retries must be >= 0")
+        for name in (
+            "retry_backoff_us",
+            "retry_backoff_max_us",
+            "retry_jitter",
+            "op_deadline_us",
+            "repair_lease_us",
+            "crash_detect_us",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
         if len(self.policies) == 1:
             self.adaptive = False
         if not self.use_fc:

@@ -17,7 +17,7 @@ paper highlights.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..rdma.verbs import RdmaEndpoint
 from .controller import OutOfMemoryError
@@ -63,16 +63,28 @@ class ClientAllocator:
         endpoint: RdmaEndpoint,
         node: MemoryNode,
         segment_bytes: int = 1 << 20,
+        owner: int = -1,
     ):
         if segment_bytes % BLOCK_SIZE:
             raise ValueError("segment size must be a multiple of the block size")
         self.endpoint = endpoint
         self.node = node
         self.segment_bytes = segment_bytes
+        #: Identity attached to segment grants at the controller, so a
+        #: survivor can reconcile a crashed client's grants after the fact.
+        self.owner = owner
         self._bump_addr: Optional[int] = None
         self._bump_end = 0
         # free lists keyed by size in blocks
         self._free: Dict[int, List[int]] = {}
+        #: Segments this client *knows* it was granted (recorded when the
+        #: ALLOC RPC response lands; may lag the controller's grant log if
+        #: the client dies mid-RPC).
+        self._segments: List[Tuple[int, int]] = []
+        #: Granted-but-unusable regions: bump remainders abandoned at refill
+        #: and regions inherited through :meth:`adopt`.  Tracked so every
+        #: granted byte stays accounted (see ``repro.core.invariants``).
+        self._spare: List[Tuple[int, int]] = []
 
     @staticmethod
     def blocks_for(nbytes: int) -> int:
@@ -98,8 +110,17 @@ class ClientAllocator:
         nblocks = self.blocks_for(nbytes)
         size = nblocks * BLOCK_SIZE
         if self._bump_addr is None or self._bump_addr + size > self._bump_end:
+            if self._bump_addr is not None and self._bump_addr < self._bump_end:
+                # The refill abandons the remainder; park it on the spare
+                # list so the bytes stay accounted for.
+                self._spare.append(
+                    (self._bump_addr, self._bump_end - self._bump_addr)
+                )
             want = max(self.segment_bytes, size)
-            addr = yield from self.endpoint.rpc(self.node, "alloc_segment", want)
+            addr = yield from self.endpoint.rpc(
+                self.node, "alloc_segment", (want, self.owner)
+            )
+            self._segments.append((addr, want))
             self._bump_addr = addr
             self._bump_end = addr + want
         addr = self._bump_addr
@@ -117,6 +138,39 @@ class ClientAllocator:
     def free_blocks(self) -> int:
         return sum(size * len(addrs) for size, addrs in self._free.items())
 
+    @property
+    def segments(self) -> List[Tuple[int, int]]:
+        """Segments this client recorded as granted (address, size)."""
+        return list(self._segments)
+
+    def record_segment(self, addr: int, size: int) -> None:
+        """Register an externally reconciled grant (crash recovery)."""
+        self._segments.append((addr, size))
+        self._spare.append((addr, size))
+
+    def adopt(self, other: "ClientAllocator") -> None:
+        """Absorb a crashed client's allocator state.
+
+        Free lists, the unused bump remainder, spare regions, and segment
+        records all move to this (surviving) allocator; ``other`` is left
+        empty.  Purely local bookkeeping — the network cost of learning the
+        dead client's grants is paid separately via the ``list_segments``
+        RPC during recovery.
+        """
+        for size, addrs in other._free.items():
+            self._free.setdefault(size, []).extend(addrs)
+        if other._bump_addr is not None and other._bump_addr < other._bump_end:
+            self._spare.append(
+                (other._bump_addr, other._bump_end - other._bump_addr)
+            )
+        self._spare.extend(other._spare)
+        self._segments.extend(other._segments)
+        other._free = {}
+        other._bump_addr = None
+        other._bump_end = 0
+        other._spare = []
+        other._segments = []
+
 
 class StripedAllocator:
     """Client-side allocation across several memory nodes.
@@ -128,11 +182,13 @@ class StripedAllocator:
     one-sided verbs (paper §2.2).
     """
 
-    def __init__(self, endpoint, nodes, segment_bytes: int = 1 << 20):
+    def __init__(self, endpoint, nodes, segment_bytes: int = 1 << 20, owner: int = -1):
         if not nodes:
             raise ValueError("need at least one memory node")
+        self.owner = owner
         self._allocators = [
-            ClientAllocator(endpoint, node, segment_bytes) for node in nodes
+            ClientAllocator(endpoint, node, segment_bytes, owner=owner)
+            for node in nodes
         ]
         self._nodes = list(nodes)
         self._next = 0
@@ -167,6 +223,25 @@ class StripedAllocator:
     @property
     def free_blocks(self) -> int:
         return sum(a.free_blocks for a in self._allocators)
+
+    @property
+    def allocators(self) -> List[ClientAllocator]:
+        """Per-node allocators, aligned with the cluster's node list."""
+        return list(self._allocators)
+
+    def allocator_for_node(self, node) -> ClientAllocator:
+        for candidate, allocator in zip(self._nodes, self._allocators):
+            if candidate is node:
+                return allocator
+        raise ValueError(f"node {node!r} not striped by this allocator")
+
+    def segments(self) -> List[Tuple[int, int]]:
+        return [seg for a in self._allocators for seg in a.segments]
+
+    def adopt(self, other: "StripedAllocator") -> None:
+        """Absorb a crashed client's striped allocator, node by node."""
+        for mine, theirs in zip(self._allocators, other._allocators):
+            mine.adopt(theirs)
 
 
 __all__ = [

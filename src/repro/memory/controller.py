@@ -42,9 +42,14 @@ class Controller:
         # Segment allocation state (coarse level of two-level management).
         self._next_free = node.base + reserve
         self._free_segments: Dict[int, list] = {}  # size -> [addr, ...]
+        # Grant log: owner id -> [(addr, size), ...].  Lets a survivor
+        # reconcile a crashed client's segments (``list_segments``) and
+        # backs the offline memory-accounting sweep.
+        self._grants: Dict[int, list] = {}
         node.controller = self
         self.register("alloc_segment", self._alloc_segment)
         self.register("free_segment", self._free_segment)
+        self.register("list_segments", self._list_segments)
 
     @property
     def cores(self) -> int:
@@ -76,24 +81,46 @@ class Controller:
 
     # -- built-in segment management --------------------------------------
 
-    def _alloc_segment(self, size: int) -> int:
-        """Hand out a contiguous segment; raises when the node is exhausted."""
+    def _alloc_segment(self, payload) -> int:
+        """Hand out a contiguous segment; raises when the node is exhausted.
+
+        ``payload`` is either a plain size or ``(size, owner)``; grants are
+        logged under the owner (anonymous callers share owner ``-1``).
+        """
+        if isinstance(payload, tuple):
+            size, owner = payload
+        else:
+            size, owner = payload, -1
         size = _round_up(size, BLOCK_SIZE)
         bucket = self._free_segments.get(size)
         if bucket:
-            return bucket.pop()
-        if self._next_free + size > self.node.end:
-            raise OutOfMemoryError(
-                f"node {self.node.node_id}: cannot allocate {size} bytes"
-            )
-        addr = self._next_free
-        self._next_free += size
+            addr = bucket.pop()
+        else:
+            if self._next_free + size > self.node.end:
+                raise OutOfMemoryError(
+                    f"node {self.node.node_id}: cannot allocate {size} bytes"
+                )
+            addr = self._next_free
+            self._next_free += size
+        self._grants.setdefault(owner, []).append((addr, size))
         return addr
 
     def _free_segment(self, payload: Tuple[int, int]) -> None:
         addr, size = payload
         size = _round_up(size, BLOCK_SIZE)
         self._free_segments.setdefault(size, []).append(addr)
+        for grants in self._grants.values():
+            if (addr, size) in grants:
+                grants.remove((addr, size))
+                break
+
+    def _list_segments(self, owner: int) -> list:
+        """Segments currently granted to ``owner`` (crash reconciliation)."""
+        return list(self._grants.get(owner, ()))
+
+    def granted_segments(self) -> Dict[int, list]:
+        """Snapshot of the grant log (offline introspection, zero cost)."""
+        return {owner: list(segs) for owner, segs in self._grants.items() if segs}
 
     @property
     def bytes_remaining(self) -> int:

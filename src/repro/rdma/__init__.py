@@ -1,6 +1,13 @@
 """Simulated one-sided RDMA fabric (verbs, NIC model, timing parameters)."""
 
 from .params import DEFAULT_PARAMS, NetworkParams
-from .verbs import RdmaEndpoint
+from .verbs import NodeUnavailable, RdmaEndpoint, RdmaFaultError, VerbTimeout
 
-__all__ = ["DEFAULT_PARAMS", "NetworkParams", "RdmaEndpoint"]
+__all__ = [
+    "DEFAULT_PARAMS",
+    "NetworkParams",
+    "NodeUnavailable",
+    "RdmaEndpoint",
+    "RdmaFaultError",
+    "VerbTimeout",
+]

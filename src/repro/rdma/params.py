@@ -18,7 +18,7 @@ paper's FC cache exists to mitigate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -46,6 +46,18 @@ class NetworkParams:
     client_overhead_us: float = 0.15
     #: Controller CPU time for trivial RPC dispatch (handler adds its own).
     rpc_dispatch_cpu_us: float = 0.3
+    #: Completion timeout: how long a client waits for a verb whose response
+    #: never arrives before declaring it failed.  Only reachable under fault
+    #: injection — the healthy fabric always completes verbs.
+    verb_timeout_us: float = 100.0
+    #: Optional per-verb timeout overrides, e.g. ``{"rpc": 500.0}``.
+    verb_timeout_overrides: Optional[Dict[str, float]] = None
+
+    def timeout_us(self, verb: str) -> float:
+        """Completion timeout for one verb kind."""
+        if self.verb_timeout_overrides:
+            return self.verb_timeout_overrides.get(verb, self.verb_timeout_us)
+        return self.verb_timeout_us
 
     def nic_service_us(self, verb: str, payload_bytes: int = 0) -> float:
         """NIC pipe occupancy for one verb of ``payload_bytes``."""

@@ -24,11 +24,29 @@ from typing import Generator, Optional
 
 from ..memory.node import MemoryNode, MemoryPool
 from ..sim import CounterSet, Engine, Process, Timeout
+from ..sim.faults import DROP, OK, FaultInjector
 from .params import NetworkParams
 
 _COUNTER_KEYS = {
     verb: f"rdma_{verb}" for verb in ("read", "write", "cas", "faa", "rpc")
 }
+
+
+class RdmaFaultError(RuntimeError):
+    """Base of the injected-failure hierarchy: a verb did not complete."""
+
+    def __init__(self, message: str, verb: str = "", node_id: int = -1):
+        super().__init__(message)
+        self.verb = verb
+        self.node_id = node_id
+
+
+class VerbTimeout(RdmaFaultError):
+    """The verb (or its response) was lost; no completion within the timeout."""
+
+
+class NodeUnavailable(RdmaFaultError):
+    """The target memory node is down; the verb cannot complete."""
 
 
 class RdmaEndpoint:
@@ -39,6 +57,7 @@ class RdmaEndpoint:
         "pool",
         "params",
         "counters",
+        "faults",
         "_single_node",
         "_lead",
         "_lag",
@@ -56,11 +75,15 @@ class RdmaEndpoint:
         pool: MemoryPool,
         params: Optional[NetworkParams] = None,
         counters: Optional[CounterSet] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.engine = engine
         self.pool = pool
         self.params = params or NetworkParams()
         self.counters = counters if counters is not None else CounterSet()
+        #: Fault injector; None (the default) keeps every verb on the
+        #: zero-overhead healthy path.
+        self.faults = faults
         # Pre-resolved fast path for the common single-MN pool.
         self._single_node = pool.nodes[0] if len(pool.nodes) == 1 else None
         self._lead = self.params.client_overhead_us + self.params.one_way_us()
@@ -85,15 +108,57 @@ class RdmaEndpoint:
             return node
         return self.pool.node_for(addr, length)
 
+    # -- fault injection ---------------------------------------------------
+
+    def _fault_gate(self, node: MemoryNode, verb: str) -> Generator:
+        """Consult the injector; returns extra lead latency or raises.
+
+        A failed verb burns the configured completion timeout in simulated
+        time before raising — the client is blocked polling for a completion
+        that never comes.  Dropped/failed verbs never reach the NIC pipe.
+        """
+        kind, extra = self.faults.verb_outcome(node.node_id, verb)
+        if kind == OK:
+            if extra:
+                self.counters.add("fault_latency_spike")
+            return extra
+        timeout_us = self.params.timeout_us(verb)
+        yield Timeout(timeout_us)
+        if kind == DROP:
+            self.counters.add("fault_verb_timeout")
+            raise VerbTimeout(
+                f"{verb} to node {node.node_id} timed out after {timeout_us}us",
+                verb=verb,
+                node_id=node.node_id,
+            )
+        self.counters.add("fault_node_unavailable")
+        raise NodeUnavailable(
+            f"node {node.node_id} is unreachable ({verb} timed out after "
+            f"{timeout_us}us)",
+            verb=verb,
+            node_id=node.node_id,
+        )
+
+    def _post_safely(self, gen: Generator) -> Generator:
+        """Background posts must swallow injected faults: an unsignalled
+        write that vanishes costs nothing but the update it carried."""
+        try:
+            yield from gen
+        except RdmaFaultError:
+            self.counters.add("fault_post_dropped")
+
     # -- one-sided verbs ---------------------------------------------------
 
     def read(self, addr: int, length: int) -> Generator:
         """RDMA_READ: returns ``length`` bytes from remote memory."""
         node = self._node_for(addr, length)
         self.counters.add("rdma_read")
+        lead = self._lead
+        if self.faults is not None:
+            lead += yield from self._fault_gate(node, "read")
         yield Timeout(
             node.nic.book(
-                self._base_read + length * self._inv_bw, self._lead, self._lag
+                self._base_read + length * self._inv_bw, lead, self._lag
             )
         )
         return node.read_bytes(addr, length)
@@ -102,9 +167,12 @@ class RdmaEndpoint:
         """RDMA_WRITE: stores ``data`` at ``addr``."""
         node = self._node_for(addr, len(data))
         self.counters.add("rdma_write")
+        lead = self._lead
+        if self.faults is not None:
+            lead += yield from self._fault_gate(node, "write")
         yield Timeout(
             node.nic.book(
-                self._base_write + len(data) * self._inv_bw, self._lead, self._lag
+                self._base_write + len(data) * self._inv_bw, lead, self._lag
             )
         )
         node.write_bytes(addr, data)
@@ -116,14 +184,20 @@ class RdmaEndpoint:
         """
         node = self._node_for(addr, 8)
         self.counters.add("rdma_cas")
-        yield Timeout(node.nic.book(self._base_cas8, self._lead, self._lag))
+        lead = self._lead
+        if self.faults is not None:
+            lead += yield from self._fault_gate(node, "cas")
+        yield Timeout(node.nic.book(self._base_cas8, lead, self._lag))
         return node.compare_and_swap(addr, expected, new)
 
     def faa(self, addr: int, delta: int) -> Generator:
         """RDMA_FAA on an 8-byte word; returns the old value."""
         node = self._node_for(addr, 8)
         self.counters.add("rdma_faa")
-        yield Timeout(node.nic.book(self._base_faa8, self._lead, self._lag))
+        lead = self._lead
+        if self.faults is not None:
+            lead += yield from self._fault_gate(node, "faa")
+        yield Timeout(node.nic.book(self._base_faa8, lead, self._lag))
         return node.fetch_and_add(addr, delta)
 
     def charge(self, node: MemoryNode, verb: str, payload: int = 8) -> Generator:
@@ -147,8 +221,11 @@ class RdmaEndpoint:
         if node.controller is None:
             raise RuntimeError(f"memory node {node.node_id} has no controller")
         self.counters.add("rdma_rpc")
+        lead = self._lead
+        if self.faults is not None:
+            lead += yield from self._fault_gate(node, "rpc")
         yield Timeout(
-            node.nic.book(self._base_rpc + size * self._inv_bw, self._lead, 0.0)
+            node.nic.book(self._base_rpc + size * self._inv_bw, lead, 0.0)
         )
         result = yield from node.controller.serve(op, payload)
         yield Timeout(
@@ -160,8 +237,14 @@ class RdmaEndpoint:
 
     def post_write(self, addr: int, data: bytes) -> Process:
         """Fire-and-forget WRITE; returns the background process."""
-        return self.engine.spawn(self.write(addr, data), name="post_write")
+        gen = self.write(addr, data)
+        if self.faults is not None:
+            gen = self._post_safely(gen)
+        return self.engine.spawn(gen, name="post_write")
 
     def post_faa(self, addr: int, delta: int) -> Process:
         """Fire-and-forget FAA; returns the background process."""
-        return self.engine.spawn(self.faa(addr, delta), name="post_faa")
+        gen = self.faa(addr, delta)
+        if self.faults is not None:
+            gen = self._post_safely(gen)
+        return self.engine.spawn(gen, name="post_faa")

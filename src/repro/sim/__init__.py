@@ -1,6 +1,15 @@
 """Deterministic discrete-event simulation substrate (time in microseconds)."""
 
 from .engine import Engine, Event, Process, SimulationError, Timeout
+from .faults import (
+    ClientCrash,
+    DropWindow,
+    FaultInjector,
+    FaultPlan,
+    LatencySpike,
+    NodeOutage,
+    RpcFailure,
+)
 from .resources import Lock, RateLimiter, Resource
 from .stats import (
     CounterSet,
@@ -16,6 +25,13 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "ClientCrash",
+    "DropWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencySpike",
+    "NodeOutage",
+    "RpcFailure",
     "Lock",
     "RateLimiter",
     "Resource",

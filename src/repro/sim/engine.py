@@ -77,7 +77,13 @@ class Event:
 
     def trigger(self, value: Any = None) -> None:
         if self._triggered:
-            raise SimulationError("event triggered twice")
+            engine = self._engine
+            active = engine._active
+            label = active.name if active is not None else "<no process>"
+            raise SimulationError(
+                f"event triggered twice (double resume at t={engine.now:.3f}us, "
+                f"last active process {label!r})"
+            )
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
@@ -99,7 +105,7 @@ class Process:
     to joiners (and to :meth:`Engine.run` if nobody joined it).
     """
 
-    __slots__ = ("engine", "_gen", "_send", "done", "result", "name")
+    __slots__ = ("engine", "_gen", "_send", "done", "result", "name", "_killed")
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         self.engine = engine
@@ -110,18 +116,49 @@ class Process:
         self.done = Event(engine)
         self.result: Any = None
         self.name = name or getattr(gen, "__name__", "process")
+        self._killed = False
 
     @property
     def finished(self) -> bool:
         return self.done.triggered
 
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
+    def kill(self) -> None:
+        """Terminate the process at its current yield point (fault injection).
+
+        Models a crashing client thread: the generator is closed where it
+        stands, so ``finally`` blocks run (a held MN-side resource completes
+        its service; purely client-local state is simply abandoned), any
+        event the process was waiting on is ignored when it later fires, and
+        joiners resume with ``None``.  Killing a finished process is a no-op.
+        """
+        if self._killed or self.done.triggered:
+            return
+        self._killed = True
+        self._gen.close()
+        self.done.trigger(None)
+
     def _step(self, value: Any = None) -> None:
+        if self._killed:
+            return  # a stale resume for a crashed process: drop it
+        engine = self.engine
+        engine._active = self
         try:
             command = self._send(value)
         except StopIteration as stop:
             self.result = stop.value
             self.done.trigger(stop.value)
             return
+        except SimulationError as err:
+            # Fault-injection bugs surface here (negative backoff timeouts,
+            # resuming a killed-and-restarted process, ...); stamp the error
+            # with where and when so they are traceable.
+            raise SimulationError(
+                f"{err} (at t={engine.now:.3f}us in process {self.name!r})"
+            ) from err
         try:
             apply = command._apply
         except AttributeError:
@@ -142,12 +179,14 @@ _INFINITY = float("inf")
 class Engine:
     """The event loop: a time-ordered heap of callbacks."""
 
-    __slots__ = ("_now", "_heap", "_sequence")
+    __slots__ = ("_now", "_heap", "_sequence", "_active")
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list = []
         self._sequence = itertools.count()
+        #: Last process stepped — the label stamped onto SimulationErrors.
+        self._active: Optional[Process] = None
 
     @property
     def now(self) -> float:

@@ -1,0 +1,294 @@
+"""Deterministic, seed-driven fault injection for the discrete-event engine.
+
+A :class:`FaultPlan` is a declarative, JSON-serializable description of every
+failure a simulation should suffer: verb drops and latency spikes at the RDMA
+endpoint, memory-node outage windows, controller RPC failures, and
+client-crash instants.  A :class:`FaultInjector` binds a plan to an engine and
+answers point queries from the instrumented layers ("does this verb, issued
+now against this node, fail?").
+
+Determinism: probabilistic faults draw from a private ``random.Random`` seeded
+by the plan, and draws happen only for verbs that match an active window — so
+the same seed and the same plan produce the same fault sequence, independent
+of wall clock, process boundaries, or any other randomness in the simulation.
+Because the plan is plain data, it can ride inside experiment parameters and
+therefore inside the on-disk result-cache key.
+
+The injector is *consulted*, never *in control*: layers that can fail call
+:meth:`FaultInjector.verb_outcome` at issue time and implement their own
+failure semantics (timeouts, exceptions, retries).  With no injector attached
+(the default everywhere), no fault code runs at all — the zero-overhead
+healthy path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .engine import Engine
+
+#: Outcome kinds returned by :meth:`FaultInjector.verb_outcome`.
+OK, DROP, DOWN = 0, 1, 2
+
+_INF = float("inf")
+
+
+def _tuple_of(items: Sequence) -> Tuple:
+    return tuple(items) if not isinstance(items, tuple) else items
+
+
+@dataclass(frozen=True)
+class DropWindow:
+    """Verbs issued inside the window are lost with probability ``prob``.
+
+    ``node_id``/``verbs`` of None match any node / any verb.  A dropped verb
+    never reaches the NIC: the client observes silence and times out.
+    """
+
+    start_us: float
+    end_us: float
+    prob: float = 1.0
+    node_id: Optional[int] = None
+    verbs: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.end_us < self.start_us:
+            raise ValueError(f"empty drop window: [{self.start_us}, {self.end_us})")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"drop probability must be in [0, 1], got {self.prob}")
+        if self.verbs is not None:
+            object.__setattr__(self, "verbs", _tuple_of(self.verbs))
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Verbs issued inside the window pay ``extra_us`` before reaching the NIC
+    (congestion, PFC pauses, a misbehaving switch)."""
+
+    start_us: float
+    end_us: float
+    extra_us: float
+    node_id: Optional[int] = None
+    verbs: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.extra_us < 0:
+            raise ValueError(f"negative latency spike: {self.extra_us}")
+        if self.verbs is not None:
+            object.__setattr__(self, "verbs", _tuple_of(self.verbs))
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """The memory node is unreachable for the window (crash-recovery cycle).
+
+    The node's DRAM contents survive — the window models unreachability
+    (NIC/link failure, controller reboot), not data loss.  Every verb against
+    the node fails with ``NodeUnavailable`` after the verb timeout.
+    """
+
+    node_id: int
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.end_us < self.start_us:
+            raise ValueError(f"empty outage window: [{self.start_us}, {self.end_us})")
+
+
+@dataclass(frozen=True)
+class RpcFailure:
+    """Controller RPCs inside the window fail with probability ``prob``
+    (the weak controller CPU stalls or drops the request)."""
+
+    start_us: float
+    end_us: float
+    prob: float = 1.0
+    node_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClientCrash:
+    """Kill client ``client_index``'s driver at ``at_us``, mid-operation."""
+
+    client_index: int
+    at_us: float
+
+
+_KINDS = {
+    "drops": DropWindow,
+    "spikes": LatencySpike,
+    "outages": NodeOutage,
+    "rpc_failures": RpcFailure,
+    "client_crashes": ClientCrash,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one simulation, as plain data."""
+
+    drops: Tuple[DropWindow, ...] = ()
+    spikes: Tuple[LatencySpike, ...] = ()
+    outages: Tuple[NodeOutage, ...] = ()
+    rpc_failures: Tuple[RpcFailure, ...] = ()
+    client_crashes: Tuple[ClientCrash, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _KINDS:
+            object.__setattr__(self, name, _tuple_of(getattr(self, name)))
+
+    @property
+    def empty(self) -> bool:
+        return not any(getattr(self, name) for name in _KINDS)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form, stable field order — cache-key material."""
+        out: Dict[str, Any] = {"seed": self.seed}
+        for name in _KINDS:
+            out[name] = [vars(item).copy() for item in getattr(self, name)]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        kwargs: Dict[str, Any] = {"seed": data.get("seed", 0)}
+        for name, kind in _KINDS.items():
+            items = data.get(name) or ()
+            kwargs[name] = tuple(
+                item if isinstance(item, kind) else kind(**item) for item in items
+            )
+        return cls(**kwargs)
+
+    def shifted(self, offset_us: float) -> "FaultPlan":
+        """The same plan with every window/instant moved by ``offset_us``.
+
+        Experiments build plans relative to t=0 and shift them to "now" once
+        warmup is done, so plan contents stay independent of warmup length.
+        """
+        return FaultPlan(
+            drops=tuple(
+                DropWindow(w.start_us + offset_us, w.end_us + offset_us, w.prob,
+                           w.node_id, w.verbs)
+                for w in self.drops
+            ),
+            spikes=tuple(
+                LatencySpike(s.start_us + offset_us, s.end_us + offset_us,
+                             s.extra_us, s.node_id, s.verbs)
+                for s in self.spikes
+            ),
+            outages=tuple(
+                NodeOutage(o.node_id, o.start_us + offset_us, o.end_us + offset_us)
+                for o in self.outages
+            ),
+            rpc_failures=tuple(
+                RpcFailure(r.start_us + offset_us, r.end_us + offset_us, r.prob,
+                           r.node_id)
+                for r in self.rpc_failures
+            ),
+            client_crashes=tuple(
+                ClientCrash(c.client_index, c.at_us + offset_us)
+                for c in self.client_crashes
+            ),
+            seed=self.seed,
+        )
+
+
+class FaultInjector:
+    """A :class:`FaultPlan` armed against a live engine.
+
+    Construct with ``plan=None`` (or an empty plan) for an inert injector that
+    layers can hold without any fault firing; :meth:`load` arms a plan later
+    (optionally shifted to the current simulated time), which is how
+    experiments inject failures only after warmup.
+    """
+
+    def __init__(self, engine: Engine, plan: Optional[FaultPlan] = None):
+        self.engine = engine
+        self.plan = FaultPlan()
+        self.rng = random.Random(0)
+        self._drops: Tuple[DropWindow, ...] = ()
+        self._spikes: Tuple[LatencySpike, ...] = ()
+        self._outages: Tuple[NodeOutage, ...] = ()
+        self._active_until = -_INF  # fast no-fault path: nothing before this
+        self._active_from = _INF
+        if plan is not None:
+            self.load(plan)
+
+    def load(self, plan: FaultPlan, offset_us: float = 0.0) -> None:
+        """(Re)arm the injector with ``plan``, shifted by ``offset_us``."""
+        if offset_us:
+            plan = plan.shifted(offset_us)
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        # Controller RPC failures are verb drops scoped to the "rpc" verb:
+        # the request (or its response) vanishes and the client times out.
+        self._drops = plan.drops + tuple(
+            DropWindow(r.start_us, r.end_us, r.prob, r.node_id, ("rpc",))
+            for r in plan.rpc_failures
+        )
+        self._spikes = plan.spikes
+        self._outages = plan.outages
+        windows = [
+            (w.start_us, w.end_us)
+            for w in (*self._drops, *self._spikes, *self._outages)
+        ]
+        self._active_from = min((s for s, _ in windows), default=_INF)
+        self._active_until = max((e for _, e in windows), default=-_INF)
+
+    # -- point queries ------------------------------------------------------
+
+    def node_down(self, node_id: int, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = self.engine.now
+        for outage in self._outages:
+            if outage.node_id == node_id and outage.start_us <= now < outage.end_us:
+                return True
+        return False
+
+    def verb_outcome(self, node_id: int, verb: str) -> Tuple[int, float]:
+        """Fate of one verb issued *now*: ``(kind, extra_lead_us)``.
+
+        ``kind`` is OK / DROP / DOWN.  Probabilistic drops consume one RNG
+        draw per *matching* verb, so plans that never match a verb leave the
+        fault RNG untouched.
+        """
+        now = self.engine.now
+        if not self._active_from <= now < self._active_until:
+            return OK, 0.0
+        for outage in self._outages:
+            if outage.node_id == node_id and outage.start_us <= now < outage.end_us:
+                return DOWN, 0.0
+        for w in self._drops:
+            if (
+                w.start_us <= now < w.end_us
+                and (w.node_id is None or w.node_id == node_id)
+                and (w.verbs is None or verb in w.verbs)
+                and (w.prob >= 1.0 or self.rng.random() < w.prob)
+            ):
+                return DROP, 0.0
+        extra = 0.0
+        for s in self._spikes:
+            if (
+                s.start_us <= now < s.end_us
+                and (s.node_id is None or s.node_id == node_id)
+                and (s.verbs is None or verb in s.verbs)
+            ):
+                extra += s.extra_us
+        return OK, extra
+
+
+__all__ = [
+    "OK",
+    "DROP",
+    "DOWN",
+    "ClientCrash",
+    "DropWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencySpike",
+    "NodeOutage",
+    "RpcFailure",
+]

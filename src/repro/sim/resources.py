@@ -75,10 +75,21 @@ class Resource:
     def acquire(self) -> Generator:
         if self._in_use < self._capacity:
             self._in_use += 1
-        else:
-            event = Event(self.engine)
-            self._waiters.append(event)
+            return
+        event = Event(self.engine)
+        self._waiters.append(event)
+        try:
             yield event
+        except GeneratorExit:
+            # The acquiring process was killed (fault injection) while
+            # queued.  Leaving the waiter behind would strand a server slot
+            # forever when a release hands it to us: either pass a slot we
+            # were just granted straight on, or step out of the queue.
+            if event.triggered:
+                self.release()
+            else:
+                self._waiters.remove(event)
+            raise
 
     def release(self) -> None:
         if self._in_use <= 0:

@@ -9,7 +9,7 @@ def test_registry_covers_every_figure():
         "fig01", "fig02", "fig03", "fig04", "fig05",
         "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
         "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab02",
-        "extra-samples", "extra-history",
+        "extra-samples", "extra-history", "extra-faults",
     }
     assert set(run_all.EXPERIMENTS) == expected
 

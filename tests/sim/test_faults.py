@@ -1,0 +1,150 @@
+"""Unit tests for the fault-injection framework (plans and injector)."""
+
+import pytest
+
+from repro.sim import (
+    ClientCrash,
+    DropWindow,
+    Engine,
+    FaultInjector,
+    FaultPlan,
+    LatencySpike,
+    NodeOutage,
+    RpcFailure,
+    Timeout,
+)
+from repro.sim.faults import DOWN, DROP, OK
+
+
+def make_plan():
+    return FaultPlan(
+        drops=(DropWindow(10.0, 20.0, prob=0.5, node_id=1, verbs=("read",)),),
+        spikes=(LatencySpike(5.0, 30.0, extra_us=7.0),),
+        outages=(NodeOutage(node_id=0, start_us=40.0, end_us=50.0),),
+        rpc_failures=(RpcFailure(15.0, 25.0),),
+        client_crashes=(ClientCrash(client_index=2, at_us=12.5),),
+        seed=99,
+    )
+
+
+class TestFaultPlan:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not make_plan().empty
+
+    def test_dict_roundtrip(self):
+        plan = make_plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        json.dumps(make_plan().to_dict())
+
+    def test_shifted_moves_every_window(self):
+        plan = make_plan().shifted(100.0)
+        assert plan.drops[0].start_us == 110.0
+        assert plan.spikes[0].end_us == 130.0
+        assert plan.outages[0].start_us == 140.0
+        assert plan.rpc_failures[0].end_us == 125.0
+        assert plan.client_crashes[0].at_us == 112.5
+        assert plan.seed == 99
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            DropWindow(10.0, 5.0)
+        with pytest.raises(ValueError):
+            DropWindow(0.0, 1.0, prob=1.5)
+        with pytest.raises(ValueError):
+            NodeOutage(0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            LatencySpike(0.0, 1.0, extra_us=-2.0)
+
+
+class TestFaultInjector:
+    def advance(self, engine, t):
+        def proc():
+            yield Timeout(t - engine.now)
+
+        engine.run_process(proc())
+
+    def test_inert_without_plan(self):
+        injector = FaultInjector(Engine())
+        assert injector.verb_outcome(0, "read") == (OK, 0.0)
+        assert not injector.node_down(0)
+
+    def test_outage_window(self):
+        engine = Engine()
+        injector = FaultInjector(
+            engine, FaultPlan(outages=(NodeOutage(0, 10.0, 20.0),))
+        )
+        assert injector.verb_outcome(0, "read") == (OK, 0.0)
+        self.advance(engine, 10.0)
+        assert injector.verb_outcome(0, "read")[0] == DOWN
+        assert injector.node_down(0)
+        assert not injector.node_down(1)
+        self.advance(engine, 20.0)
+        assert injector.verb_outcome(0, "read") == (OK, 0.0)
+
+    def test_drop_scoping_by_node_and_verb(self):
+        engine = Engine()
+        injector = FaultInjector(
+            engine,
+            FaultPlan(drops=(DropWindow(0.0, 10.0, node_id=1, verbs=("cas",)),)),
+        )
+        assert injector.verb_outcome(1, "cas")[0] == DROP
+        assert injector.verb_outcome(1, "read")[0] == OK
+        assert injector.verb_outcome(0, "cas")[0] == OK
+
+    def test_latency_spikes_accumulate(self):
+        engine = Engine()
+        injector = FaultInjector(
+            engine,
+            FaultPlan(
+                spikes=(
+                    LatencySpike(0.0, 10.0, extra_us=3.0),
+                    LatencySpike(0.0, 10.0, extra_us=4.0),
+                )
+            ),
+        )
+        assert injector.verb_outcome(0, "read") == (OK, 7.0)
+
+    def test_rpc_failures_compile_to_rpc_drops(self):
+        engine = Engine()
+        injector = FaultInjector(
+            engine, FaultPlan(rpc_failures=(RpcFailure(0.0, 10.0),))
+        )
+        assert injector.verb_outcome(0, "rpc")[0] == DROP
+        assert injector.verb_outcome(0, "read")[0] == OK
+
+    def test_probabilistic_drops_are_seed_deterministic(self):
+        def outcomes(seed):
+            engine = Engine()
+            injector = FaultInjector(
+                engine, FaultPlan(drops=(DropWindow(0.0, 10.0, prob=0.5),), seed=seed)
+            )
+            return [injector.verb_outcome(0, "read")[0] for _ in range(64)]
+
+        assert outcomes(1) == outcomes(1)
+        assert outcomes(1) != outcomes(2)  # astronomically unlikely to match
+
+    def test_non_matching_verbs_leave_rng_untouched(self):
+        engine = Engine()
+        injector = FaultInjector(
+            engine,
+            FaultPlan(drops=(DropWindow(0.0, 10.0, prob=0.5, verbs=("cas",)),), seed=3),
+        )
+        state = injector.rng.getstate()
+        injector.verb_outcome(0, "read")
+        assert injector.rng.getstate() == state
+        injector.verb_outcome(0, "cas")
+        assert injector.rng.getstate() != state
+
+    def test_load_with_offset(self):
+        engine = Engine()
+        injector = FaultInjector(engine)
+        injector.load(FaultPlan(outages=(NodeOutage(0, 0.0, 5.0),)), offset_us=50.0)
+        assert injector.verb_outcome(0, "read")[0] == OK
+        self.advance(engine, 51.0)
+        assert injector.verb_outcome(0, "read")[0] == DOWN
