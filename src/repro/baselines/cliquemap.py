@@ -24,6 +24,7 @@ from typing import Dict, Generator, List, Optional
 from ..cachesim import ExactLFUCache, ExactLRUCache
 from ..core import layout as L
 from ..memory import Controller, MemoryNode, MemoryPool
+from ..obs.observer import current as obs_current
 from ..rdma.params import NetworkParams
 from ..rdma.verbs import RdmaEndpoint
 from ..sim import CounterSet, Engine
@@ -99,7 +100,19 @@ class CliqueMapCluster:
             self.server.handle_merge,
             cpu_us=lambda keys: merge_entry_cpu_us * len(keys),
         )
+        obs = obs_current()
+        self.obs = obs
+        self.tracer = (
+            obs.bind(self.engine, label="cliquemap") if obs is not None else None
+        )
+        if self.tracer is not None:
+            self.controller.tracer = self.tracer
         self.counters = CounterSet()
+        if obs is not None:
+            obs.bridge_counters(
+                self.counters, component="cliquemap",
+                cluster=str(self.tracer.pid) if self.tracer is not None else "0",
+            )
         self.clients: List[CliqueMapClient] = [
             CliqueMapClient(self, i) for i in range(num_clients)
         ]
@@ -132,7 +145,8 @@ class CliqueMapClient:
         self.cluster = cluster
         self.client_id = client_id
         self.ep = RdmaEndpoint(
-            cluster.engine, cluster.pool, cluster.params, counters=cluster.counters
+            cluster.engine, cluster.pool, cluster.params,
+            counters=cluster.counters, tracer=cluster.tracer,
         )
         self._access_buffer: List[bytes] = []
         self.hits = 0

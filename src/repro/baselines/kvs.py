@@ -12,6 +12,7 @@ from typing import Generator, List, Optional
 
 from ..memory import ClientAllocator, Controller, MemoryNode, MemoryPool
 from ..memory.node import BLOCK_SIZE
+from ..obs.observer import current as obs_current
 from ..rdma.params import NetworkParams
 from ..rdma.verbs import RdmaEndpoint
 from ..sim import CounterSet, Engine
@@ -66,7 +67,17 @@ class DmKvsCluster:
         self.controller = Controller(
             self.node, cores=1, reserve=self.layout.reserved_bytes
         )
+        obs = obs_current()
+        self.obs = obs
+        self.tracer = obs.bind(self.engine, label="kvs") if obs is not None else None
+        if self.tracer is not None:
+            self.controller.tracer = self.tracer
         self.counters = CounterSet()
+        if obs is not None:
+            obs.bridge_counters(
+                self.counters, component="kvs",
+                cluster=str(self.tracer.pid) if self.tracer is not None else "0",
+            )
         self.segment_bytes = segment_bytes
         self.clients: List[DmKvsClient] = [
             DmKvsClient(self, i) for i in range(num_clients)
@@ -84,7 +95,8 @@ class DmKvsClient:
         self.cluster = cluster
         self.client_id = client_id
         self.ep = RdmaEndpoint(
-            cluster.engine, cluster.pool, cluster.params, counters=cluster.counters
+            cluster.engine, cluster.pool, cluster.params,
+            counters=cluster.counters, tracer=cluster.tracer,
         )
         self.alloc = ClientAllocator(self.ep, cluster.node, cluster.segment_bytes)
         self.hits = 0

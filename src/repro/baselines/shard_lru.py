@@ -28,6 +28,7 @@ from typing import Generator, List, Optional
 from ..core import layout as L
 from ..memory import ClientAllocator, Controller, MemoryNode, MemoryPool
 from ..memory.node import BLOCK_SIZE
+from ..obs.observer import current as obs_current
 from ..rdma.params import NetworkParams
 from ..rdma.verbs import RdmaEndpoint
 from ..sim import CounterSet, Engine, Timeout
@@ -75,7 +76,19 @@ class ShardLruCluster:
         self.node = MemoryNode(self.engine, size=reserved + heap, params=self.params)
         self.pool = MemoryPool([self.node])
         self.controller = Controller(self.node, cores=1, reserve=reserved)
+        obs = obs_current()
+        self.obs = obs
+        self.tracer = (
+            obs.bind(self.engine, label="shard-lru") if obs is not None else None
+        )
+        if self.tracer is not None:
+            self.controller.tracer = self.tracer
         self.counters = CounterSet()
+        if obs is not None:
+            obs.bridge_counters(
+                self.counters, component="shard-lru",
+                cluster=str(self.tracer.pid) if self.tracer is not None else "0",
+            )
         self.segment_bytes = segment_bytes
         # Local mirror of each shard's remote LRU list:
         # key -> (slot_addr, pointer, object_bytes)
@@ -115,7 +128,8 @@ class ShardLruClient:
         self.cluster = cluster
         self.client_id = client_id
         self.ep = RdmaEndpoint(
-            cluster.engine, cluster.pool, cluster.params, counters=cluster.counters
+            cluster.engine, cluster.pool, cluster.params,
+            counters=cluster.counters, tracer=cluster.tracer,
         )
         self.alloc = ClientAllocator(self.ep, cluster.node, cluster.segment_bytes)
         self.hits = 0

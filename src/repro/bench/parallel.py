@@ -48,6 +48,7 @@ from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.observer import Observability, activate, deactivate
 from .scale import scale_name
 
 #: Default cache directory, relative to the current working directory.
@@ -119,6 +120,11 @@ class JobOutcome:
     stdout: str
     cached: bool
     elapsed_s: float
+    #: Observability snapshot (``repro.obs``) when the job ran traced;
+    #: replayed from the cache entry for cached outcomes.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Chrome trace path written by a traced run (None otherwise).
+    trace_file: Optional[str] = None
 
 
 class ResultCache:
@@ -164,7 +170,15 @@ def execute_job(spec: Dict[str, Any]) -> Dict[str, Any]:
     """Run one job in the current process; module-level for spawn safety.
 
     ``spec`` is the job as a plain dict (picklable); returns
-    ``{"result": <jsonified>, "stdout": <captured text>}``.
+    ``{"result": <jsonified>, "stdout": <captured text>}`` plus, when
+    enabled, ``metrics``/``trace_file`` (observability) and
+    ``profile_file`` (``REPRO_PROFILE=1``).
+
+    Profiling composes with the process pool: the profiler runs inside the
+    worker around this one job, and the dump file is keyed by the job's
+    cache key, so concurrent workers (and repeated grid points of the same
+    experiment) never clobber each other's profiles.  ``REPRO_PROFILE_DIR``
+    overrides the default ``.profiles/`` output directory.
     """
     module_name, _, attr = spec["fn"].partition(":")
     if not attr:
@@ -173,10 +187,54 @@ def execute_job(spec: Dict[str, Any]) -> Dict[str, Any]:
     kwargs = dict(spec.get("params") or {})
     if spec.get("seed") is not None:
         kwargs["seed"] = spec["seed"]
+
+    obs: Optional[Observability] = None
+    trace_dir = spec.get("trace_dir")
+    if trace_dir:
+        obs = activate(Observability())
+
+    profiler = None
+    if os.environ.get("REPRO_PROFILE") == "1":
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     buffer = io.StringIO()
-    with redirect_stdout(buffer):
-        result = fn(**kwargs)
-    return {"result": jsonify(result), "stdout": buffer.getvalue()}
+    try:
+        with redirect_stdout(buffer):
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result = fn(**kwargs)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+    finally:
+        if obs is not None:
+            deactivate()
+
+    raw: Dict[str, Any] = {"result": jsonify(result), "stdout": buffer.getvalue()}
+
+    if profiler is not None:
+        profile_dir = Path(os.environ.get("REPRO_PROFILE_DIR") or ".profiles")
+        profile_dir.mkdir(parents=True, exist_ok=True)
+        label = spec.get("experiment") or attr
+        stem = spec.get("key") or hashlib.sha256(
+            json.dumps(spec, sort_keys=True, default=str).encode()
+        ).hexdigest()
+        profile_path = profile_dir / f"bench_{label}_{stem[:12]}.prof"
+        profiler.dump_stats(str(profile_path))
+        raw["profile_file"] = str(profile_path)
+
+    if obs is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        name = spec.get("trace_name") or spec.get("experiment") or attr
+        trace_path = os.path.join(trace_dir, f"{name}.trace.json")
+        obs.export_chrome(trace_path)
+        raw["metrics"] = obs.snapshot()
+        raw["trace_file"] = trace_path
+
+    return raw
 
 
 class ParallelRunner:
@@ -193,11 +251,18 @@ class ParallelRunner:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
+        trace_dir: Optional[str] = None,
     ):
+        """``trace_dir`` turns on per-job observability: each simulated job
+        activates a fresh hub in its worker, writes
+        ``<trace_dir>/<experiment>[_<key>].trace.json``, and returns its
+        metrics snapshot (persisted into the result cache alongside the
+        result)."""
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self.trace_dir = trace_dir
         self.simulated = 0
         self.cached = 0
         self.elapsed_s = 0.0
@@ -219,16 +284,32 @@ class ParallelRunner:
                     stdout=entry.get("stdout", ""),
                     cached=True,
                     elapsed_s=0.0,
+                    metrics=entry.get("metrics"),
+                    trace_file=entry.get("trace_file"),
                 )
             else:
                 pending.append(i)
 
         if pending:
+            # Trace filenames: the experiment name alone when unique in this
+            # batch, suffixed with the cache key otherwise (grid sweeps).
+            name_counts: Dict[str, int] = {}
+            for i in pending:
+                name = jobs[i].experiment
+                name_counts[name] = name_counts.get(name, 0) + 1
             specs = [
                 {
                     "fn": jobs[i].fn,
                     "params": jobs[i].params,
                     "seed": jobs[i].seed,
+                    "experiment": jobs[i].experiment,
+                    "key": jobs[i].key(scale),
+                    "trace_dir": self.trace_dir,
+                    "trace_name": (
+                        jobs[i].experiment
+                        if name_counts[jobs[i].experiment] == 1
+                        else f"{jobs[i].experiment}_{jobs[i].key(scale)[:10]}"
+                    ),
                 }
                 for i in pending
             ]
@@ -247,24 +328,27 @@ class ParallelRunner:
                 self.simulated += 1
                 job = jobs[i]
                 if self.cache is not None:
-                    self.cache.put(
-                        job.key(scale),
-                        {
-                            "experiment": job.experiment,
-                            "fn": job.fn,
-                            "params": jsonify(job.params),
-                            "seed": job.seed,
-                            "scale": scale,
-                            "result": raw["result"],
-                            "stdout": raw["stdout"],
-                        },
-                    )
+                    entry = {
+                        "experiment": job.experiment,
+                        "fn": job.fn,
+                        "params": jsonify(job.params),
+                        "seed": job.seed,
+                        "scale": scale,
+                        "result": raw["result"],
+                        "stdout": raw["stdout"],
+                    }
+                    if "metrics" in raw:
+                        entry["metrics"] = raw["metrics"]
+                        entry["trace_file"] = raw.get("trace_file")
+                    self.cache.put(job.key(scale), entry)
                 outcomes[i] = JobOutcome(
                     job=job,
                     result=raw["result"],
                     stdout=raw["stdout"],
                     cached=False,
                     elapsed_s=elapsed,
+                    metrics=raw.get("metrics"),
+                    trace_file=raw.get("trace_file"),
                 )
 
         self.elapsed_s += time.perf_counter() - started
@@ -303,6 +387,7 @@ def run_grid(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> List[JobOutcome]:
     """Fan a parameter grid × seeds out across workers.
 
@@ -314,5 +399,8 @@ def run_grid(
         for point in grid
         for seed in seeds
     ]
-    runner = ParallelRunner(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+    runner = ParallelRunner(
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache,
+        trace_dir=trace_dir,
+    )
     return runner.run(jobs)

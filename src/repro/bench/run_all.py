@@ -18,9 +18,12 @@ Output is merged in submission order — byte-identical to a serial run.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
+from ..obs.observer import Observability, activate, deactivate
 from .experiments import (
     extra_fault_recovery,
     extra_history_size,
@@ -102,18 +105,43 @@ def _parse(argv):
         action="store_true",
         help="delete all cached results and exit",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const=".traces",
+        default=None,
+        metavar="DIR",
+        help="capture a Chrome trace + metrics snapshot per experiment "
+        "into DIR (default .traces); open *.trace.json in chrome://tracing",
+    )
     return parser.parse_args(argv)
 
 
-def _run_serial(names) -> None:
+def _run_serial(names, trace_dir=None) -> None:
     for name in names:
         started = time.time()
         print(f"\n########## {name} ##########")
-        EXPERIMENTS[name].main()
+        if trace_dir is None:
+            EXPERIMENTS[name].main()
+        else:
+            obs = activate(Observability())
+            try:
+                EXPERIMENTS[name].main()
+            finally:
+                deactivate()
+            os.makedirs(trace_dir, exist_ok=True)
+            trace_path = os.path.join(trace_dir, f"{name}.trace.json")
+            obs.export_chrome(trace_path)
+            with open(
+                os.path.join(trace_dir, f"{name}.metrics.json"),
+                "w", encoding="utf-8",
+            ) as fh:
+                json.dump(obs.snapshot(), fh, indent=2, sort_keys=True)
+            print(f"[trace: {trace_path}]")
         print(f"[{name} done in {time.time() - started:.1f}s]")
 
 
-def _run_parallel(names, workers, use_cache, cache_dir) -> None:
+def _run_parallel(names, workers, use_cache, cache_dir, trace_dir=None) -> None:
     jobs = [
         ExperimentJob(
             experiment=name,
@@ -122,13 +150,16 @@ def _run_parallel(names, workers, use_cache, cache_dir) -> None:
         for name in names
     ]
     runner = ParallelRunner(
-        workers=workers, cache_dir=cache_dir, use_cache=use_cache
+        workers=workers, cache_dir=cache_dir, use_cache=use_cache,
+        trace_dir=trace_dir,
     )
     outcomes = runner.run(jobs)
     for outcome in outcomes:
         print(f"\n########## {outcome.job.experiment} ##########")
         # The experiment's own table output, replayed in submission order.
         sys.stdout.write(outcome.stdout)
+        if outcome.trace_file:
+            print(f"[trace: {outcome.trace_file}]")
         if outcome.cached:
             print(f"[{outcome.job.experiment}: cached]")
         else:
@@ -164,9 +195,10 @@ def main(argv=None) -> int:
             workers=args.parallel,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            trace_dir=args.trace,
         )
     else:
-        _run_serial(names)
+        _run_serial(names, trace_dir=args.trace)
     return 0
 
 

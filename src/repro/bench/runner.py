@@ -21,6 +21,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.client import CacheOperationError
+from ..obs.observer import Observability
+from ..obs.observer import current as obs_current
 from ..sim import Engine, LatencyStats, ThroughputSeries, Timeout
 
 _KEY = struct.Struct("<Q")
@@ -104,6 +106,7 @@ class Harness:
         miss_penalty_us: float = 0.0,
         series_bucket_us: float = 100_000.0,
         tolerate_failures: bool = False,
+        obs: Optional[Observability] = None,
     ):
         """``tolerate_failures`` keeps a driver alive when an operation
         fails permanently (:class:`CacheOperationError`) — required for
@@ -114,6 +117,9 @@ class Harness:
         self.miss_penalty_us = miss_penalty_us
         self.series = ThroughputSeries(series_bucket_us)
         self.tolerate_failures = tolerate_failures
+        # Observability (repro.obs): picked up from the runtime so existing
+        # experiments need no signature changes; None stays fully inert.
+        self.obs = obs if obs is not None else obs_current()
         self.failed_ops = 0
         self._flags: List[dict] = []
         self._measuring = False
@@ -223,9 +229,24 @@ class Harness:
         misses = sum(getattr(c, "misses", 0) for c in self._clients)
         return hits, misses
 
+    def _annotate_window(self, name: str, start: float) -> None:
+        """Mark a completed run window as a lane-0 span on the trace."""
+        tracer = self.obs.tracer_for(self.engine)
+        if tracer is not None:
+            tracer.complete_at(
+                name, "harness", start, self.engine.now - start, tid=0
+            )
+
     def warm(self, duration_us: float) -> None:
         """Run without recording (cache warmup)."""
-        self.engine.run(until=self.engine.now + duration_us)
+        start = self.engine.now
+        if self.obs is not None:
+            self.obs.schedule_window_samples(
+                self.engine, start, start + duration_us
+            )
+        self.engine.run(until=start + duration_us)
+        if self.obs is not None:
+            self._annotate_window("warm", start)
 
     def measure(self, duration_us: float) -> MeasureResult:
         """Record one window and return its metrics."""
@@ -235,8 +256,14 @@ class Harness:
         self._hits0, self._miss0 = self._hit_totals()
         self._measuring = True
         start = self.engine.now
+        if self.obs is not None:
+            self.obs.schedule_window_samples(
+                self.engine, start, start + duration_us
+            )
         self.engine.run(until=start + duration_us)
         self._measuring = False
+        if self.obs is not None:
+            self._annotate_window("measure", start)
         hits, misses = self._hit_totals()
         return MeasureResult(
             ops=self._ops,

@@ -120,10 +120,14 @@ class ExpertWeights:
 class GlobalWeights:
     """Controller-side global expert weights (one per memory pool)."""
 
-    def __init__(self, num_experts: int, learning_rate: float = 0.1):
+    def __init__(self, num_experts: int, learning_rate: float = 0.1,
+                 on_update=None):
         self.num_experts = num_experts
         self.learning_rate = learning_rate
         self.weights = [1.0 / num_experts] * num_experts
+        #: Observability hook ``on_update(weights)``, called after each fold;
+        #: None (the default) keeps updates hook-free.
+        self.on_update = on_update
 
     def handle_update(self, penalty_sums: Sequence[float]) -> List[float]:
         """RPC handler: fold a client's penalty sums in, return new globals."""
@@ -133,6 +137,8 @@ class GlobalWeights:
             if penalty:
                 self.weights[i] *= math.exp(-self.learning_rate * penalty)
         self.weights = _normalized(self.weights)
+        if self.on_update is not None:
+            self.on_update(self.weights)
         return list(self.weights)
 
 

@@ -24,6 +24,8 @@ from ..memory import (
     MemoryPool,
     StripedAllocator,
 )
+from ..obs.observer import Observability
+from ..obs.observer import current as obs_current
 from ..rdma.params import NetworkParams
 from ..rdma.verbs import RdmaFaultError
 from ..sim import CounterSet, Engine, Timeout
@@ -52,6 +54,7 @@ class DittoCluster:
         max_capacity_objects: Optional[int] = None,
         num_memory_nodes: int = 1,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        obs: Optional[Observability] = None,
     ):
         """``max_capacity_objects`` provisions the memory pool for future
         elastic growth (default: the initial capacity); ``resize_memory``
@@ -77,6 +80,19 @@ class DittoCluster:
             self.fault_injector = faults
         else:
             self.fault_injector = FaultInjector(self.engine, faults)
+        # Observability (repro.obs): the hub comes from the ``obs`` argument
+        # or the process-wide runtime; with neither, ``tracer`` stays None
+        # and every instrumented path is inert.
+        if obs is None:
+            obs = obs_current()
+        self.obs = obs
+        self.tracer = obs.bind(self.engine, label="ditto") if obs is not None else None
+        if self.fault_injector is not None and self.tracer is not None:
+            self.fault_injector.tracer = self.tracer
+            if not self.fault_injector.plan.empty:
+                # A plan passed at construction armed before the tracer
+                # existed; annotate its windows retroactively.
+                self.fault_injector._annotate_plan(self.fault_injector.plan)
         self.seed = seed
         self.segment_bytes = segment_bytes
         self.capacity_objects = capacity_objects
@@ -136,6 +152,21 @@ class DittoCluster:
         self.pool = MemoryPool(self.nodes)
         self.controller = self.node.controller
 
+        if self.obs is not None:
+            obs_id = str(self.tracer.pid) if self.tracer is not None else "0"
+            prefix = f"c{obs_id}." if obs_id != "0" else ""
+            for node in self.nodes:
+                if self.tracer is not None:
+                    node.controller.tracer = self.tracer
+                self.obs.watch(
+                    f"{prefix}mn{node.node_id}.nic", node.nic, self.engine
+                )
+                self.obs.watch(
+                    f"{prefix}mn{node.node_id}.cpu", node.controller.cpu,
+                    self.engine,
+                )
+            self.obs.watch(f"{prefix}budget", self.budget, self.engine)
+
         self.global_weights = GlobalWeights(
             num_experts=self.config.num_experts,
             learning_rate=self.config.learning_rate,
@@ -143,11 +174,40 @@ class DittoCluster:
         self.controller.register(
             "update_weights", self.global_weights.handle_update, cpu_us=0.5
         )
+        if self.obs is not None:
+            self._wire_weight_metrics(obs_id)
 
         self.counters = CounterSet()
+        if self.obs is not None:
+            self.obs.bridge_counters(self.counters, component="cluster",
+                                     cluster=obs_id)
         self.object_count = 0
         self.clients: List[DittoClient] = []
         self.add_clients(num_clients)
+
+    def _wire_weight_metrics(self, obs_id: str) -> None:
+        """Publish global expert-weight updates to the metrics/trace layer."""
+        registry = self.obs.registry
+        updates = registry.counter(
+            "adaptive.updates", component="controller", cluster=obs_id
+        )
+        gauges = [
+            registry.gauge("adaptive.weight", policy=policy, cluster=obs_id)
+            for policy in self.config.policies
+        ]
+        tracer = self.tracer
+
+        def on_update(weights):
+            updates.add(1)
+            for gauge, weight in zip(gauges, weights):
+                gauge.set(weight)
+            if tracer is not None:
+                tracer.instant(
+                    "adaptive.update", "controller",
+                    {"weights": [round(w, 4) for w in weights]},
+                )
+
+        self.global_weights.on_update = on_update
 
     @staticmethod
     def _ext_schema(policy_names) -> Tuple[str, ...]:

@@ -110,12 +110,27 @@ class DittoClient:
         self.node = cluster.node
         self.rng = random.Random((seed * 1_000_003 + client_id) & 0xFFFFFFFF)
         self.counters = cluster.counters
+        # Observability (repro.obs): tracer/histograms are None unless the
+        # cluster was built under an active hub — the inert default.
+        self.tracer = getattr(cluster, "tracer", None)
+        obs = getattr(cluster, "obs", None)
+        if obs is not None:
+            self._hist_get = obs.registry.histogram(
+                "op.latency", component="client", verb="get"
+            )
+            self._hist_set = obs.registry.histogram(
+                "op.latency", component="client", verb="set"
+            )
+        else:
+            self._hist_get = None
+            self._hist_set = None
         self.ep = RdmaEndpoint(
             self.engine,
             cluster.pool,
             cluster.params,
             counters=cluster.counters,
             faults=getattr(cluster, "fault_injector", None),
+            tracer=self.tracer,
         )
         self.alloc = StripedAllocator(
             self.ep, cluster.nodes, cluster.segment_bytes, owner=client_id
@@ -246,9 +261,18 @@ class DittoClient:
         cache from the backing store rather than aborting the run.
         """
         fault_attempts = 0
+        tracer = self.tracer
+        hist = self._hist_get
+        t0 = self.engine._now if tracer is not None or hist is not None else 0.0
         while True:
             try:
                 result = yield from self._get_once(key)
+                if tracer is not None:
+                    tracer.complete(
+                        "op.get", "client", t0, {"hit": result is not None}
+                    )
+                if hist is not None:
+                    hist.record(self.engine._now - t0)
                 return result
             except NodeUnavailable:
                 # The MN is down for a whole outage window; retrying within
@@ -259,11 +283,22 @@ class DittoClient:
                 if fault_attempts > self.config.fault_retries:
                     break
                 self.counters.add("fault_retry")
+                if tracer is not None:
+                    tracer.instant(
+                        "op.retry", "client",
+                        {"op": "get", "attempt": fault_attempts},
+                    )
                 delay = self._backoff_us(fault_attempts)
                 if delay > 0.0:
                     yield Timeout(delay)
         self.counters.add("fault_miss_through")
         self.misses += 1
+        if tracer is not None:
+            tracer.complete(
+                "op.get", "client", t0, {"hit": False, "faulted": True}
+            )
+        if hist is not None:
+            hist.record(self.engine._now - t0)
         return None
 
     def _get_once(self, key: bytes) -> Generator:
@@ -413,6 +448,8 @@ class DittoClient:
         cas_attempts = 0
         fault_attempts = 0
         attempts = 0
+        tracer = self.tracer
+        hist = self._hist_set
         while True:
             attempts += 1
             try:
@@ -438,12 +475,23 @@ class DittoClient:
                         elapsed_us=self.engine.now - start, cause=err,
                     )
                 self.counters.add("fault_retry")
+                if tracer is not None:
+                    tracer.instant(
+                        "op.retry", "client",
+                        {"op": "set", "attempt": fault_attempts},
+                    )
                 delay = self._backoff_us(fault_attempts)
                 if delay > 0.0:
                     yield Timeout(delay)
                 done = False
             else:
                 if done:
+                    if tracer is not None:
+                        tracer.complete(
+                            "op.set", "client", start, {"attempts": attempts}
+                        )
+                    if hist is not None:
+                        hist.record(self.engine._now - start)
                     return True
                 cas_attempts += 1
                 if cas_attempts >= self.config.max_retries:
@@ -705,6 +753,8 @@ class DittoClient:
 
     def _evict_once(self) -> Generator:
         """One sampled eviction; True on success."""
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         for _attempt in range(self.config.max_retries):
             slots = yield from self._sample_slots()
             objects = [s for s in slots if s.is_object]
@@ -713,7 +763,11 @@ class DittoClient:
             victim, bitmap, meta = yield from self._choose_victim(objects)
             done = yield from self._retire(victim, bitmap, meta)
             if done:
+                if tracer is not None:
+                    tracer.complete("op.evict", "client", t0, {"evicted": True})
                 return True
+        if tracer is not None:
+            tracer.complete("op.evict", "client", t0, {"evicted": False})
         return False
 
     def _retire(self, victim: L.Slot, bitmap: int, meta: Metadata) -> Generator:

@@ -54,6 +54,15 @@ class MemoryBudget:
     def over_limit(self) -> bool:
         return self.used_bytes > self.limit_bytes
 
+    def sample(self) -> dict:
+        """Point-in-time budget snapshot (``repro.obs`` timelines)."""
+        limit = self.limit_bytes
+        return {
+            "used_bytes": self.used_bytes,
+            "limit_bytes": limit,
+            "utilization": self.used_bytes / limit if limit else 0.0,
+        }
+
 
 class ClientAllocator:
     """Per-client block allocator over controller-granted segments."""
@@ -117,9 +126,16 @@ class ClientAllocator:
                     (self._bump_addr, self._bump_end - self._bump_addr)
                 )
             want = max(self.segment_bytes, size)
+            tracer = self.endpoint.tracer
+            t0 = self.endpoint.engine._now if tracer is not None else 0.0
             addr = yield from self.endpoint.rpc(
                 self.node, "alloc_segment", (want, self.owner)
             )
+            if tracer is not None:
+                tracer.complete(
+                    "alloc.segment", "allocator", t0,
+                    {"bytes": want, "node": self.node.node_id},
+                )
             self._segments.append((addr, want))
             self._bump_addr = addr
             self._bump_end = addr + want

@@ -46,6 +46,8 @@ class Controller:
         # reconcile a crashed client's segments (``list_segments``) and
         # backs the offline memory-accounting sweep.
         self._grants: Dict[int, list] = {}
+        #: Span tracer (repro.obs); None keeps serve() span-free.
+        self.tracer = None
         node.controller = self
         self.register("alloc_segment", self._alloc_segment)
         self.register("free_segment", self._free_segment)
@@ -71,12 +73,20 @@ class Controller:
         except KeyError:
             raise KeyError(f"no RPC handler registered for {op!r}") from None
         cpu_us = cost(payload) if callable(cost) else cost
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         yield from self.cpu.acquire()
         try:
+            if tracer is not None:
+                wait_us = self.engine._now - t0
             yield Timeout(self.node.params.rpc_dispatch_cpu_us + cpu_us)
             result = fn(payload)
         finally:
             self.cpu.release()
+        if tracer is not None:
+            tracer.complete(
+                "rpc." + op, "controller", t0, {"wait_us": wait_us}
+            )
         return result
 
     # -- built-in segment management --------------------------------------

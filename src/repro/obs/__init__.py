@@ -1,0 +1,50 @@
+"""``repro.obs`` — unified observability for the simulated cluster.
+
+Three pillars (see DESIGN.md §3.3):
+
+- **Metrics** (:mod:`repro.obs.metrics`): labeled counters, gauges, and
+  bounded-memory streaming histograms with a deterministic JSON snapshot.
+- **Tracing** (:mod:`repro.obs.trace`): sim-time spans around RDMA verbs,
+  controller RPCs, client operations, allocator calls, and fault windows,
+  exported as Chrome/Perfetto ``trace_event`` JSON.
+- **Timelines** (:mod:`repro.obs.sampler`): NIC-slot, MN-CPU, and lock-wait
+  utilization sampled from ``sim.resources`` inside measurement windows.
+
+Everything is inert unless a hub is activated — via the bench layer's
+``--trace`` flag, :func:`activate`, or ``REPRO_TRACE=<dir>``.  With no hub,
+instrumented components hold ``tracer = None`` and skip all observability
+code, keeping experiment outputs byte-identical to an uninstrumented run.
+
+Analysis lives in :mod:`repro.obs.report` (``python -m repro.obs.report``).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observer import Observability, activate, current, deactivate
+from .sampler import WatchedResource, window_sample_times
+from .trace import (
+    FAULT_TID_BASE,
+    EventBudget,
+    SpanTracer,
+    chrome_document,
+    validate_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "activate",
+    "current",
+    "deactivate",
+    "WatchedResource",
+    "window_sample_times",
+    "FAULT_TID_BASE",
+    "EventBudget",
+    "SpanTracer",
+    "chrome_document",
+    "validate_trace",
+    "write_chrome_trace",
+]

@@ -58,6 +58,7 @@ class RdmaEndpoint:
         "params",
         "counters",
         "faults",
+        "tracer",
         "_single_node",
         "_lead",
         "_lag",
@@ -76,6 +77,7 @@ class RdmaEndpoint:
         params: Optional[NetworkParams] = None,
         counters: Optional[CounterSet] = None,
         faults: Optional[FaultInjector] = None,
+        tracer=None,
     ):
         self.engine = engine
         self.pool = pool
@@ -84,6 +86,8 @@ class RdmaEndpoint:
         #: Fault injector; None (the default) keeps every verb on the
         #: zero-overhead healthy path.
         self.faults = faults
+        #: Span tracer (repro.obs); None keeps verbs span-free.
+        self.tracer = tracer
         # Pre-resolved fast path for the common single-MN pool.
         self._single_node = pool.nodes[0] if len(pool.nodes) == 1 else None
         self._lead = self.params.client_overhead_us + self.params.one_way_us()
@@ -124,6 +128,11 @@ class RdmaEndpoint:
             return extra
         timeout_us = self.params.timeout_us(verb)
         yield Timeout(timeout_us)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fault.verb_timeout", "fault",
+                {"verb": verb, "node": node.node_id},
+            )
         if kind == DROP:
             self.counters.add("fault_verb_timeout")
             raise VerbTimeout(
@@ -153,6 +162,8 @@ class RdmaEndpoint:
         """RDMA_READ: returns ``length`` bytes from remote memory."""
         node = self._node_for(addr, length)
         self.counters.add("rdma_read")
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         lead = self._lead
         if self.faults is not None:
             lead += yield from self._fault_gate(node, "read")
@@ -161,12 +172,16 @@ class RdmaEndpoint:
                 self._base_read + length * self._inv_bw, lead, self._lag
             )
         )
+        if tracer is not None:
+            tracer.complete("rdma.read", "rdma", t0)
         return node.read_bytes(addr, length)
 
     def write(self, addr: int, data: bytes) -> Generator:
         """RDMA_WRITE: stores ``data`` at ``addr``."""
         node = self._node_for(addr, len(data))
         self.counters.add("rdma_write")
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         lead = self._lead
         if self.faults is not None:
             lead += yield from self._fault_gate(node, "write")
@@ -175,6 +190,8 @@ class RdmaEndpoint:
                 self._base_write + len(data) * self._inv_bw, lead, self._lag
             )
         )
+        if tracer is not None:
+            tracer.complete("rdma.write", "rdma", t0)
         node.write_bytes(addr, data)
 
     def cas(self, addr: int, expected: int, new: int) -> Generator:
@@ -184,20 +201,28 @@ class RdmaEndpoint:
         """
         node = self._node_for(addr, 8)
         self.counters.add("rdma_cas")
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         lead = self._lead
         if self.faults is not None:
             lead += yield from self._fault_gate(node, "cas")
         yield Timeout(node.nic.book(self._base_cas8, lead, self._lag))
+        if tracer is not None:
+            tracer.complete("rdma.cas", "rdma", t0)
         return node.compare_and_swap(addr, expected, new)
 
     def faa(self, addr: int, delta: int) -> Generator:
         """RDMA_FAA on an 8-byte word; returns the old value."""
         node = self._node_for(addr, 8)
         self.counters.add("rdma_faa")
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         lead = self._lead
         if self.faults is not None:
             lead += yield from self._fault_gate(node, "faa")
         yield Timeout(node.nic.book(self._base_faa8, lead, self._lag))
+        if tracer is not None:
+            tracer.complete("rdma.faa", "rdma", t0)
         return node.fetch_and_add(addr, delta)
 
     def charge(self, node: MemoryNode, verb: str, payload: int = 8) -> Generator:
@@ -208,11 +233,15 @@ class RdmaEndpoint:
         same NIC as everything else without maintaining byte layouts.
         """
         self.counters.add(_COUNTER_KEYS[verb])
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         yield Timeout(
             node.nic.book(
                 self.params.nic_service_us(verb, payload), self._lead, self._lag
             )
         )
+        if tracer is not None:
+            tracer.complete("rdma.charge", "rdma", t0, {"verb": verb})
 
     # -- RPC to the memory-node controller --------------------------------
 
@@ -221,6 +250,8 @@ class RdmaEndpoint:
         if node.controller is None:
             raise RuntimeError(f"memory node {node.node_id} has no controller")
         self.counters.add("rdma_rpc")
+        tracer = self.tracer
+        t0 = self.engine._now if tracer is not None else 0.0
         lead = self._lead
         if self.faults is not None:
             lead += yield from self._fault_gate(node, "rpc")
@@ -231,6 +262,8 @@ class RdmaEndpoint:
         yield Timeout(
             node.nic.book(self._base_write + size * self._inv_bw, 0.0, self._lag)
         )
+        if tracer is not None:
+            tracer.complete("rdma.rpc", "rdma", t0, {"op": op})
         return result
 
     # -- asynchronous (unsignalled) posts ---------------------------------

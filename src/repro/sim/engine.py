@@ -105,7 +105,9 @@ class Process:
     to joiners (and to :meth:`Engine.run` if nobody joined it).
     """
 
-    __slots__ = ("engine", "_gen", "_send", "done", "result", "name", "_killed")
+    __slots__ = (
+        "engine", "_gen", "_send", "done", "result", "name", "_killed", "tid"
+    )
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = ""):
         self.engine = engine
@@ -117,6 +119,12 @@ class Process:
         self.result: Any = None
         self.name = name or getattr(gen, "__name__", "process")
         self._killed = False
+        #: Trace lane: a small engine-unique integer identifying this process
+        #: in span traces (``repro.obs``).  Processes run strictly
+        #: sequentially within themselves, so spans emitted under one tid are
+        #: properly nested by construction; tid 0 is reserved for code
+        #: running outside any process (harness, fault-plan annotations).
+        self.tid = next(engine._tids)
 
     @property
     def finished(self) -> bool:
@@ -179,7 +187,7 @@ _INFINITY = float("inf")
 class Engine:
     """The event loop: a time-ordered heap of callbacks."""
 
-    __slots__ = ("_now", "_heap", "_sequence", "_active")
+    __slots__ = ("_now", "_heap", "_sequence", "_active", "_tids")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -187,6 +195,8 @@ class Engine:
         self._sequence = itertools.count()
         #: Last process stepped — the label stamped onto SimulationErrors.
         self._active: Optional[Process] = None
+        #: Trace-lane ids handed to processes (tid 0 = outside any process).
+        self._tids = itertools.count(1)
 
     @property
     def now(self) -> float:

@@ -205,6 +205,11 @@ class FaultInjector:
     experiments inject failures only after warmup.
     """
 
+    #: Trace lanes for fault windows start here; windows may overlap, so each
+    #: gets its own lane (mirrors ``repro.obs.trace.FAULT_TID_BASE`` — sim
+    #: never imports obs, so the constant is stated on both sides).
+    TRACE_TID_BASE = 1_000_000
+
     def __init__(self, engine: Engine, plan: Optional[FaultPlan] = None):
         self.engine = engine
         self.plan = FaultPlan()
@@ -214,6 +219,9 @@ class FaultInjector:
         self._outages: Tuple[NodeOutage, ...] = ()
         self._active_until = -_INF  # fast no-fault path: nothing before this
         self._active_from = _INF
+        #: Span tracer (repro.obs); None keeps load() annotation-free.
+        self.tracer = None
+        self._trace_lanes = 0  # lanes consumed by earlier load() calls
         if plan is not None:
             self.load(plan)
 
@@ -237,6 +245,47 @@ class FaultInjector:
         ]
         self._active_from = min((s for s, _ in windows), default=_INF)
         self._active_until = max((e for _, e in windows), default=-_INF)
+        if self.tracer is not None and not plan.empty:
+            self._annotate_plan(plan)
+
+    def _annotate_plan(self, plan: FaultPlan) -> None:
+        """Emit the armed plan's windows as trace spans (repro.obs).
+
+        Windows may overlap in time, so each gets a private lane above
+        :attr:`TRACE_TID_BASE` — lanes are cheap and keep the per-lane
+        nesting invariant intact.  Crash instants share one marker lane.
+        """
+        tracer = self.tracer
+        windows = [
+            ("fault.drop", {"prob": w.prob, "node": w.node_id}, w)
+            for w in plan.drops
+        ] + [
+            ("fault.rpc_failure", {"prob": r.prob, "node": r.node_id}, r)
+            for r in plan.rpc_failures
+        ] + [
+            ("fault.spike", {"extra_us": s.extra_us, "node": s.node_id}, s)
+            for s in plan.spikes
+        ] + [
+            ("fault.outage", {"node": o.node_id}, o)
+            for o in plan.outages
+        ]
+        for name, args, window in windows:
+            tid = self.TRACE_TID_BASE + self._trace_lanes
+            self._trace_lanes += 1
+            tracer.name_lane(tid, name)
+            tracer.complete_at(
+                name, "fault", window.start_us,
+                window.end_us - window.start_us, tid=tid, args=args,
+            )
+        if plan.client_crashes:
+            tid = self.TRACE_TID_BASE + self._trace_lanes
+            self._trace_lanes += 1
+            tracer.name_lane(tid, "fault.client_crash")
+            for crash in plan.client_crashes:
+                tracer.instant_at(
+                    "fault.client_crash", "fault", crash.at_us, tid=tid,
+                    args={"client": crash.client_index},
+                )
 
     # -- point queries ------------------------------------------------------
 

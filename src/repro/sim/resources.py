@@ -72,6 +72,16 @@ class Resource:
             self._in_use += 1
             event.trigger()
 
+    def sample(self) -> dict:
+        """Point-in-time utilization snapshot (``repro.obs`` timelines)."""
+        capacity = self._capacity
+        return {
+            "in_use": self._in_use,
+            "capacity": capacity,
+            "queue": len(self._waiters),
+            "utilization": self._in_use / capacity if capacity else 0.0,
+        }
+
     def acquire(self) -> Generator:
         if self._in_use < self._capacity:
             self._in_use += 1
@@ -190,6 +200,22 @@ class RateLimiter:
         served); kept for non-hot-path callers and tests."""
         yield Timeout(self.book(service_time, lead_us, lag_us))
 
+    def sample(self) -> dict:
+        """Point-in-time pipe snapshot (``repro.obs`` timelines).
+
+        ``busy_slots`` counts processing units currently booked past *now* —
+        the NIC-slot occupancy the utilization timeline plots.
+        """
+        now = self.engine._now
+        free_at = self._free_at
+        busy = sum(1 for t in free_at if t > now)
+        return {
+            "backlog_us": self.backlog_us,
+            "busy_slots": busy,
+            "slots": len(free_at),
+            "messages": self.messages,
+        }
+
 
 class Lock:
     """A simple FIFO mutex for *local* (same compute node) coordination.
@@ -213,3 +239,10 @@ class Lock:
 
     def release(self) -> None:
         self._resource.release()
+
+    def sample(self) -> dict:
+        """Point-in-time lock snapshot: held? how many waiters (lock wait)."""
+        return {
+            "locked": 1 if self.locked else 0,
+            "waiters": self._resource.queue_length,
+        }

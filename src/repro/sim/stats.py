@@ -9,32 +9,189 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 
-class LatencyStats:
-    """Collects individual latency samples (microseconds) for percentiles."""
+class StreamingHistogram:
+    """Bounded-memory value distribution with approximate percentiles.
 
-    def __init__(self) -> None:
+    Log-spaced buckets with ``growth`` ratio between edges bound the relative
+    quantile error to about ``growth - 1`` (2% by default) while using a fixed
+    ~1.4k-int bucket array regardless of sample count — the HDR-histogram
+    construction rack-scale simulators use for per-event latency streams.
+    Values at or below ``lo`` land in an underflow bucket; values above ``hi``
+    in an overflow bucket.  Exact ``min``/``max``/``sum`` are tracked on the
+    side so extreme percentiles stay sharp.
+    """
+
+    __slots__ = ("lo", "growth", "count", "total", "_log_growth", "_min",
+                 "_max", "_buckets")
+
+    def __init__(self, lo: float = 1e-3, hi: float = 1e9, growth: float = 1.02):
+        if lo <= 0 or hi <= lo:
+            raise ValueError(f"need 0 < lo < hi, got lo={lo} hi={hi}")
+        if growth <= 1.0:
+            raise ValueError(f"bucket growth must exceed 1, got {growth}")
+        self.lo = lo
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        nbuckets = int(math.ceil(math.log(hi / lo) / self._log_growth)) + 2
+        self._buckets = [0] * nbuckets
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float, count: int = 1) -> None:
+        if value <= self.lo:
+            index = 0
+        else:
+            index = int(math.log(value / self.lo) / self._log_growth) + 1
+            if index >= len(self._buckets):
+                index = len(self._buckets) - 1
+        self._buckets[index] += count
+        self.count += count
+        self.total += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` (same geometry) into this histogram."""
+        if (other.lo, other.growth, len(other._buckets)) != (
+            self.lo, self.growth, len(self._buckets)
+        ):
+            raise ValueError("cannot merge histograms with different geometry")
+        for i, n in enumerate(other._buckets):
+            if n:
+                self._buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+    def mean(self) -> float:
+        if not self.count:
+            return float("nan")
+        return self.total / self.count
+
+    def percentile(self, p: float) -> float:
+        """p in [0, 100]; approximate within one bucket's relative width."""
+        if not self.count:
+            return float("nan")
+        rank = (p / 100.0) * (self.count - 1)
+        cumulative = 0
+        for index, n in enumerate(self._buckets):
+            if not n:
+                continue
+            cumulative += n
+            if cumulative > rank:
+                if index == 0:
+                    estimate = self.lo
+                else:
+                    # Geometric midpoint of the bucket's edges.
+                    lower = self.lo * self.growth ** (index - 1)
+                    estimate = lower * math.sqrt(self.growth)
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self) -> None:
+        for i in range(len(self._buckets)):
+            self._buckets[i] = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+
+class LatencyStats:
+    """Collects latency samples (microseconds) for percentiles.
+
+    Small series keep every sample and report exact percentiles (numpy's
+    linear interpolation, the semantics every experiment table was built on).
+    Once ``exact_limit`` samples accumulate, the series spills into a
+    :class:`StreamingHistogram`, bounding memory for full-scale runs where a
+    measurement window can hold millions of completions.
+    """
+
+    #: Samples kept exactly before spilling to the streaming histogram (2 MB
+    #: of floats at most; quick-scale experiment windows stay comfortably
+    #: below this, keeping their outputs exact and byte-stable).
+    EXACT_LIMIT = 262_144
+
+    def __init__(self, exact_limit: Optional[int] = None) -> None:
         self._samples: List[float] = []
+        self._hist: Optional[StreamingHistogram] = None
+        self._exact_limit = self.EXACT_LIMIT if exact_limit is None else exact_limit
+
+    def _spill(self) -> None:
+        hist = StreamingHistogram()
+        hist.extend(self._samples)
+        self._samples.clear()
+        self._hist = hist
 
     def record(self, latency_us: float) -> None:
+        if self._hist is not None:
+            self._hist.record(latency_us)
+            return
         self._samples.append(latency_us)
+        if len(self._samples) >= self._exact_limit:
+            self._spill()
 
     def extend(self, latencies: Iterable[float]) -> None:
+        if self._hist is not None:
+            self._hist.extend(latencies)
+            return
         self._samples.extend(latencies)
+        if len(self._samples) >= self._exact_limit:
+            self._spill()
+
+    @property
+    def exact(self) -> bool:
+        """True while every sample is retained (exact percentiles)."""
+        return self._hist is None
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self.count
 
     @property
     def count(self) -> int:
+        if self._hist is not None:
+            return self._hist.count
         return len(self._samples)
 
     def mean(self) -> float:
+        if self._hist is not None:
+            return self._hist.mean()
         if not self._samples:
             return float("nan")
         return float(np.mean(self._samples))
 
     def percentile(self, p: float) -> float:
         """p in [0, 100]; e.g. ``percentile(99)`` is the tail latency."""
+        if self._hist is not None:
+            return self._hist.percentile(p)
         if not self._samples:
             return float("nan")
         return float(np.percentile(self._samples, p))
@@ -55,6 +212,7 @@ class LatencyStats:
 
     def reset(self) -> None:
         self._samples.clear()
+        self._hist = None
 
 
 class ThroughputSeries:

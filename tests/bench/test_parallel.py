@@ -16,6 +16,10 @@ from repro.bench.parallel import (
 FIG04 = "repro.bench.experiments.fig04_cache_size:run"
 TINY = {"n_requests": 3000, "n_keys": 256, "size_fracs": (0.1, 0.4)}
 
+# fig02 drives real DittoCluster instances, so traced runs produce spans.
+FIG02 = "repro.bench.experiments.fig02_caching_structure_cost:run"
+TINY02 = {"n_keys": 200, "client_counts": (1,), "window_us": 2000.0}
+
 
 # -- jsonify ---------------------------------------------------------------
 
@@ -168,6 +172,124 @@ def test_run_grid_orders_by_point_then_seed(tmp_path):
 def test_runner_rejects_bad_workers():
     with pytest.raises(ValueError):
         ParallelRunner(workers=0)
+
+
+# -- per-job profiling (REPRO_PROFILE=1) -----------------------------------
+
+
+def test_profile_writes_one_file_per_job(tmp_path, monkeypatch):
+    import pstats
+
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "profs"))
+    jobs = [
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=s) for s in (3, 4)
+    ]
+    outcomes = ParallelRunner(workers=1, use_cache=False).run(jobs)
+    assert len(outcomes) == 2
+    files = sorted((tmp_path / "profs").glob("bench_fig04_*.prof"))
+    # one profile per job, keyed by the cache key: no clobbering
+    assert len(files) == 2
+    for path in files:
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+
+def test_profile_off_writes_nothing(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "profs"))
+    execute_job({"fn": FIG04, "params": TINY, "seed": 3})
+    assert not (tmp_path / "profs").exists()
+
+
+def test_profile_composes_with_pool(tmp_path, monkeypatch):
+    """Profiles from spawn workers land in the same directory, distinct files."""
+    import pstats
+
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "profs"))
+    jobs = [
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=s) for s in (3, 4)
+    ]
+    ParallelRunner(workers=2, use_cache=False).run(jobs)
+    files = sorted((tmp_path / "profs").glob("bench_fig04_*.prof"))
+    assert len(files) == 2
+    assert pstats.Stats(str(files[0])).total_calls > 0
+
+
+# -- per-job tracing (trace_dir) --------------------------------------------
+
+
+def test_trace_dir_produces_valid_traces_and_metrics(tmp_path):
+    import os
+
+    from repro.obs import validate_trace
+
+    jobs = [ExperimentJob("fig02", FIG02, params=dict(TINY02))]
+    runner = ParallelRunner(
+        workers=1, use_cache=False, trace_dir=str(tmp_path / "traces")
+    )
+    (outcome,) = runner.run(jobs)
+    assert outcome.trace_file == os.path.join(
+        str(tmp_path / "traces"), "fig02.trace.json"
+    )
+    with open(outcome.trace_file, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert validate_trace(doc) == []
+    assert outcome.metrics is not None
+    assert outcome.metrics["trace"]["events"] > 0
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "rdma.read" in names and "measure" in names
+
+
+def test_trace_names_disambiguate_grid_points(tmp_path):
+    jobs = [
+        ExperimentJob("fig04", FIG04, params=dict(TINY), seed=s) for s in (3, 4)
+    ]
+    runner = ParallelRunner(
+        workers=1, use_cache=False, trace_dir=str(tmp_path / "traces")
+    )
+    outcomes = runner.run(jobs)
+    names = {o.trace_file for o in outcomes}
+    assert len(names) == 2
+    for name in names:
+        assert "fig04_" in name  # key-suffixed, not the bare experiment name
+
+
+def test_cached_replay_carries_metrics(tmp_path):
+    jobs = [ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)]
+    first = ParallelRunner(
+        workers=1, cache_dir=tmp_path / "cache",
+        trace_dir=str(tmp_path / "traces"),
+    )
+    (a,) = first.run(jobs)
+    second = ParallelRunner(
+        workers=1, cache_dir=tmp_path / "cache",
+        trace_dir=str(tmp_path / "traces"),
+    )
+    (b,) = second.run(jobs)
+    assert b.cached
+    assert b.metrics == a.metrics
+    assert b.trace_file == a.trace_file
+
+
+def test_untraced_runs_have_no_metrics(tmp_path):
+    jobs = [ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)]
+    (outcome,) = ParallelRunner(workers=1, use_cache=False).run(jobs)
+    assert outcome.metrics is None and outcome.trace_file is None
+
+
+def test_traced_result_identical_to_untraced(tmp_path):
+    """Observability must not perturb the simulation itself."""
+    jobs = [ExperimentJob("fig04", FIG04, params=dict(TINY), seed=3)]
+    (plain,) = ParallelRunner(workers=1, use_cache=False).run(jobs)
+    (traced,) = ParallelRunner(
+        workers=1, use_cache=False, trace_dir=str(tmp_path / "traces")
+    ).run(jobs)
+    assert json.dumps(plain.result, sort_keys=True) == json.dumps(
+        traced.result, sort_keys=True
+    )
+    assert plain.stdout == traced.stdout
 
 
 # -- run_all CLI integration ----------------------------------------------

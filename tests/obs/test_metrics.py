@@ -1,0 +1,85 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops", verb="get")
+        b = reg.counter("ops", verb="get")
+        assert a is b
+        a.add()
+        a.add(4)
+        assert b.value == 5
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        get = reg.counter("ops", verb="get")
+        set_ = reg.counter("ops", verb="set")
+        get.add(1)
+        set_.add(2)
+        assert get.value == 1 and set_.value == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("util", component="nic", node="0")
+        b = reg.gauge("util", node="0", component="nic")
+        assert a is b
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("weight")
+        g.set(0.5)
+        g.add(0.25)
+        assert g.value == pytest.approx(0.75)
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", verb="get")
+        for v in range(1, 1001):
+            h.record(float(v))
+        assert h.count == 1000
+        assert h.percentile(50) == pytest.approx(500, rel=0.05)
+        assert h.percentile(99) == pytest.approx(990, rel=0.05)
+
+    def test_find_does_not_create(self):
+        reg = MetricsRegistry()
+        assert reg.find("counter", "missing") is None
+        reg.counter("present")
+        assert reg.find("counter", "present") is not None
+        assert reg.snapshot()["counters"][0]["name"] == "present"
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b", x="2").add(2)
+        reg.counter("b", x="1").add(1)
+        reg.counter("a").add(9)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").record(3.0)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        names = [row["name"] for row in snap["counters"]]
+        assert names == ["a", "b", "b"]
+        assert snap["counters"][1]["labels"] == {"x": "1"}
+        hist_row = snap["histograms"][0]
+        assert hist_row["count"] == 1.0
+        assert hist_row["p50"] == pytest.approx(3.0, rel=0.05)
+
+    def test_snapshot_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z", k="b").add(1)
+            reg.counter("z", k="a").add(2)
+            reg.histogram("h", k="x").record(1.0)
+            return reg.snapshot()
+
+        assert json.dumps(build(), sort_keys=True) == json.dumps(
+            build(), sort_keys=True
+        )

@@ -7,6 +7,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim import CounterSet, LatencyStats, ThroughputSeries, hit_rate, relative_change
+from repro.sim.stats import StreamingHistogram
 
 
 class TestLatencyStats:
@@ -45,6 +46,125 @@ class TestLatencyStats:
         assert stats.percentile(100) == pytest.approx(max(samples))
 
 
+class TestLatencyStatsSpill:
+    """Exact-mode -> streaming-histogram transition at ``exact_limit``."""
+
+    def test_single_sample(self):
+        stats = LatencyStats()
+        stats.record(42.0)
+        assert stats.exact
+        assert stats.count == 1
+        assert stats.mean() == 42.0
+        assert stats.percentile(0) == stats.percentile(100) == 42.0
+
+    def test_exact_below_limit(self):
+        stats = LatencyStats(exact_limit=100)
+        stats.extend(float(i) for i in range(99))
+        assert stats.exact
+        assert len(stats) == 99
+
+    def test_spill_flips_exact_and_keeps_stats(self):
+        stats = LatencyStats(exact_limit=100)
+        samples = [float(i) for i in range(1, 501)]
+        stats.extend(samples)
+        assert not stats.exact
+        assert stats.count == 500
+        assert stats.mean() == pytest.approx(250.5, rel=0.001)
+        # streaming percentiles stay within the bucket-width error bound
+        assert stats.median() == pytest.approx(250.5, rel=0.03)
+        assert stats.p99() == pytest.approx(495.05, rel=0.03)
+
+    def test_record_after_spill_goes_to_histogram(self):
+        stats = LatencyStats(exact_limit=2)
+        stats.record(1.0)
+        stats.record(2.0)
+        assert not stats.exact
+        stats.record(3.0)
+        assert stats.count == 3
+        assert stats.summary()["count"] == 3.0
+
+    def test_reset_restores_exact_mode(self):
+        stats = LatencyStats(exact_limit=2)
+        stats.extend([1.0, 2.0, 3.0])
+        assert not stats.exact
+        stats.reset()
+        assert stats.exact and stats.count == 0
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6),
+                    min_size=20, max_size=200))
+    def test_spilled_percentiles_near_exact(self, samples):
+        import numpy as np
+
+        spilled = LatencyStats(exact_limit=10)
+        spilled.extend(samples)
+        assert not spilled.exact
+        # the histogram estimates the lower-rank sample to within one
+        # log-bucket's relative width (it does not interpolate between ranks)
+        for p in (50, 90, 99):
+            reference = float(np.percentile(samples, p, method="lower"))
+            assert spilled.percentile(p) == pytest.approx(
+                reference, rel=0.05, abs=0.02
+            )
+            assert min(samples) <= spilled.percentile(p) <= max(samples)
+
+
+class TestStreamingHistogram:
+    def test_empty_is_nan(self):
+        hist = StreamingHistogram()
+        assert math.isnan(hist.mean())
+        assert math.isnan(hist.min) and math.isnan(hist.max)
+        assert math.isnan(hist.percentile(50))
+
+    def test_relative_error_bound(self):
+        hist = StreamingHistogram(growth=1.02)
+        for v in range(1, 10_001):
+            hist.record(float(v))
+        assert hist.percentile(50) == pytest.approx(5000.0, rel=0.02)
+        assert hist.percentile(99) == pytest.approx(9900.0, rel=0.02)
+        assert hist.min == 1.0 and hist.max == 10_000.0
+
+    def test_underflow_and_overflow_clamped(self):
+        hist = StreamingHistogram(lo=1.0, hi=100.0)
+        hist.record(0.001)   # below lo -> underflow bucket
+        hist.record(1e12)    # above hi -> overflow bucket
+        assert hist.count == 2
+        # exact extremes are tracked on the side...
+        assert hist.min == 0.001 and hist.max == 1e12
+        # ...while percentile estimates collapse to the bucket range edges
+        assert hist.percentile(0) == hist.lo
+        assert hist.percentile(100) == pytest.approx(100.0, rel=0.1)
+
+    def test_merge(self):
+        a = StreamingHistogram()
+        b = StreamingHistogram()
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([100.0, 200.0])
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(306.0)
+        assert a.max == 200.0
+
+    def test_merge_geometry_mismatch_raises(self):
+        a = StreamingHistogram(growth=1.02)
+        b = StreamingHistogram(growth=1.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_reset(self):
+        hist = StreamingHistogram()
+        hist.extend([5.0, 6.0])
+        hist.reset()
+        assert hist.count == 0 and math.isnan(hist.mean())
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(lo=0.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(lo=10.0, hi=1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+
+
 class TestThroughputSeries:
     def test_bucketing(self):
         series = ThroughputSeries(bucket_us=1000.0)
@@ -67,6 +187,33 @@ class TestThroughputSeries:
         for t in (10.0, 20.0, 110.0):
             series.record(t)
         assert series.ops_per_second(0.0, 100.0) == pytest.approx(20000.0)
+
+    def test_exact_bucket_edges(self):
+        # a timestamp exactly on a bucket edge belongs to the *later* bucket
+        series = ThroughputSeries(bucket_us=100.0)
+        series.record(0.0)
+        series.record(100.0)
+        series.record(199.999)
+        series.record(200.0)
+        points = dict(series.series())
+        scale = 1e6 / 100.0
+        assert points[0.0] == 1 * scale
+        assert points[100.0] == 2 * scale
+        assert points[200.0] == 1 * scale
+
+    def test_window_boundaries_half_open(self):
+        series = ThroughputSeries(bucket_us=100.0)
+        series.record(50.0)    # bucket 0
+        series.record(150.0)   # bucket 1
+        # [0, 100) selects only bucket 0; the end bound is exclusive
+        assert series.ops_per_second(0.0, 100.0) == pytest.approx(10000.0)
+        assert series.ops_per_second(100.0, 200.0) == pytest.approx(10000.0)
+
+    def test_negative_timestamps_bucket_correctly(self):
+        series = ThroughputSeries(bucket_us=100.0)
+        series.record(-50.0)
+        (start, rate), = series.series()
+        assert start == -100.0 and rate == pytest.approx(10000.0)
 
     def test_rejects_bad_bucket(self):
         with pytest.raises(ValueError):
