@@ -14,16 +14,27 @@ def test_fig13(benchmark):
     mem_up = phase_mean(timeline, "memory-scaled-up")
     mem_down = phase_mean(timeline, "memory-scaled-down")
 
-    # Compute scaling takes effect immediately (no migration): throughput
-    # jumps with the added clients and returns when they leave.
+    # Compute scaling takes effect immediately (compute carries no data):
+    # throughput jumps with the added clients and returns when they leave.
     assert up > base * 1.3
     assert abs(down - base) / base < 0.25
 
-    # Memory scaling does not disturb throughput (no data movement).
+    # Memory scale-up (a node joins the pool) does not disturb throughput.
     assert abs(mem_up - down) / down < 0.2
-    assert abs(mem_down - down) / down < 0.2
 
-    # The very first window after scale-up already shows the gain —
+    # Memory scale-down live-drains a data-bearing node while traffic keeps
+    # flowing: a real migration, so allow contention, but no collapse — and
+    # nothing like the Redis baseline's whole-keyspace reshuffle.
+    assert mem_down > down * 0.6
+
+    # The drain completed and actually moved data at advancing epochs.
+    (migration,) = result["migrations"]
+    assert migration["phase"] == "done"
+    assert migration["migrated_objects"] > 0
+    assert migration["epoch_end"] > migration["epoch_start"]
+    assert result["epoch_bumps"] >= 3
+
+    # The very first window after compute scale-up already shows the gain —
     # "immediate", unlike Redis' minutes of migration.
     first_up = next(r for r in timeline if r["phase"] == "compute-scaled-up")
     assert first_up["mops"] > base * 1.2

@@ -25,6 +25,7 @@ import time
 
 from ..obs.observer import Observability, activate, deactivate
 from .experiments import (
+    extra_elasticity_churn,
     extra_fault_recovery,
     extra_history_size,
     extra_sample_size,
@@ -74,6 +75,7 @@ EXPERIMENTS = {
     "extra-samples": extra_sample_size,
     "extra-history": extra_history_size,
     "extra-faults": extra_fault_recovery,
+    "extra-elasticity-churn": extra_elasticity_churn,
 }
 
 

@@ -4,6 +4,14 @@ from .adaptive import ExpertWeights, GlobalWeights, bitmap_of
 from .cache import DittoCache, DittoCluster
 from .client import CacheOperationError, DittoClient
 from .config import DittoConfig
+from .elasticity import (
+    EpochFence,
+    MembershipTable,
+    MigrationError,
+    MigrationRecord,
+    Migrator,
+    StaleEpoch,
+)
 from .fc_cache import FrequencyCounterCache
 from .invariants import InvariantViolation, sweep as invariant_sweep
 from .history import (
@@ -29,13 +37,19 @@ __all__ = [
     "DittoCluster",
     "DittoConfig",
     "DittoLayout",
+    "EpochFence",
     "ExpertWeights",
     "FrequencyCounterCache",
     "GlobalWeights",
     "HISTORY_WRAP",
     "InvariantViolation",
     "invariant_sweep",
+    "MembershipTable",
     "Metadata",
+    "MigrationError",
+    "MigrationRecord",
+    "Migrator",
+    "StaleEpoch",
     "POLICY_REGISTRY",
     "RemoteFifoHistory",
     "Slot",

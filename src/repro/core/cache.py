@@ -33,6 +33,16 @@ from ..sim.faults import FaultInjector, FaultPlan
 from .adaptive import GlobalWeights
 from .client import DittoClient
 from .config import DittoConfig
+from .elasticity import (
+    ACTIVE,
+    DRAINING,
+    RETIRED,
+    EpochFence,
+    MembershipTable,
+    MigrationError,
+    MigrationRecord,
+    Migrator,
+)
 from .history import HISTORY_ENTRY_BYTES, RemoteFifoHistory
 from .layout import DittoLayout, object_span
 from .policies import make_policy
@@ -137,6 +147,7 @@ class DittoCluster:
             + (1 << 20)
         )
         heap_per_node = -(-heap_bytes // num_memory_nodes)
+        self._heap_per_node = heap_per_node
         self.nodes = []
         base = 0
         for node_id in range(num_memory_nodes):
@@ -151,6 +162,25 @@ class DittoCluster:
         self.node = self.nodes[0]
         self.pool = MemoryPool(self.nodes)
         self.controller = self.node.controller
+        # -- elastic memory-node membership --------------------------------
+        #: High-water mark of the global address space: a node added later
+        #: gets a fresh range above everything ever provisioned, so retired
+        #: ranges are never reused and a stale pointer stays detectable.
+        self._addr_high = base
+        self._next_node_id = num_memory_nodes
+        #: Membership table + epoch fence, created by the first membership
+        #: change (``_ensure_elastic``).  Until then both stay None and all
+        #: verbs take the unfenced fast path — default runs are byte-
+        #: identical to a build without the elasticity subsystem.
+        self.membership: Optional[MembershipTable] = None
+        self.fence: Optional[EpochFence] = None
+        self._epoch_gauge = None
+        #: Records of node drains, oldest first (``MigrationRecord``).
+        self.migrations: List[MigrationRecord] = []
+        #: Drains currently in flight (their allocators are part of the
+        #: memory-accounting sweep until adoption).
+        self._active_migrators: List[Migrator] = []
+        self._shrink_proc = None
 
         if self.obs is not None:
             obs_id = str(self.tracer.pid) if self.tracer is not None else "0"
@@ -183,6 +213,9 @@ class DittoCluster:
                                      cluster=obs_id)
         self.object_count = 0
         self.clients: List[DittoClient] = []
+        # Client ids are monotonic so a departed client's id (and its grant
+        # log at the controllers) is never silently reused by a newcomer.
+        self._next_client_id = 0
         self.add_clients(num_clients)
 
     def _wire_weight_metrics(self, obs_id: str) -> None:
@@ -222,24 +255,62 @@ class DittoCluster:
 
     def add_clients(self, n: int) -> List[DittoClient]:
         """Scale compute: new client threads join with no data movement."""
-        new = [
-            DittoClient(self, client_id=len(self.clients) + i, seed=self.seed)
-            for i in range(n)
-        ]
+        new = []
+        for _ in range(n):
+            client = DittoClient(
+                self, client_id=self._next_client_id, seed=self.seed
+            )
+            self._next_client_id += 1
+            new.append(client)
         self.clients.extend(new)
         return new
 
     def remove_clients(self, n: int) -> None:
+        """Scale compute down: departing clients release their grants.
+
+        A graceful leave runs the same reconciliation as crash recovery —
+        undo markers, grant diff, allocator adoption — then reassigns the
+        leaver's grant-log entries to the survivor, so nothing stays parked
+        under an id that no longer exists.  (The old implementation just
+        dropped the client objects, leaking their segments forever.)
+        """
         if n > len(self.clients) - 1:
             raise ValueError("cannot remove all clients")
+        departing = self.clients[len(self.clients) - n :]
         del self.clients[len(self.clients) - n :]
+        survivor = next((c for c in self.clients if not c.dead), None)
+        for client in departing:
+            if client.dead:
+                continue  # crashed earlier; recovery already owns its state
+            client.dead = True
+            if survivor is None:
+                continue  # nobody left to absorb; the sweep will flag leaks
+            self.engine.run_process(self._release_client(client, survivor))
+
+    def _release_client(self, leaving, survivor):
+        """Graceful client departure: crash reconciliation without the
+        detection delay, plus grant-log reassignment to the survivor."""
+        try:
+            yield from self.recover_client(leaving, survivor)
+            for node in list(self.nodes):
+                if node not in self.nodes:
+                    continue  # removed by a concurrent drain
+                yield from self._recovery_rpc(
+                    survivor, node, "reassign_grants",
+                    (leaving.client_id, survivor.client_id),
+                )
+            self.counters.add("client_leave")
+        except RdmaFaultError:
+            pass  # counted as crash_recovery_failed; sweep reports leftovers
 
     def resize_memory(self, capacity_objects: int) -> None:
-        """Scale memory: adjust the budget; no data migration is needed.
+        """Scale the memory *budget* (no node set change, so no migration).
 
-        Shrinking leaves the cache temporarily over budget; subsequent
-        inserts evict until usage fits the new limit.  Growth is bounded by
-        the provisioned pool (``max_capacity_objects``).
+        Growth is bounded by the provisioned pool
+        (``max_capacity_objects``).  Shrinking starts a background eviction
+        process that actively converges usage to the new limit instead of
+        waiting for future inserts to squeeze it down, bounding the
+        over-budget window (counter ``shrink_evicted_bytes``).
         """
         if capacity_objects > self.max_capacity_objects:
             raise ValueError(
@@ -248,6 +319,244 @@ class DittoCluster:
             )
         self.capacity_objects = capacity_objects
         self.budget.resize(capacity_objects * self.block_bytes_per_object)
+        if self.budget.over_limit:
+            self._start_shrink()
+
+    def _start_shrink(self) -> None:
+        if self._shrink_proc is not None and not self._shrink_proc.finished:
+            return  # an earlier shrink is still converging
+        self._shrink_proc = self.engine.spawn(
+            self._shrink_process(), name="shrink_evictor"
+        )
+
+    def _shrink_process(self):
+        """Evict until the cache fits the reduced budget.
+
+        Runs the normal sampled-eviction path through a live client, so the
+        adaptive policy chooses the victims; bails out after repeated
+        failures (everything pinned by faults) rather than spinning."""
+        failures = 0
+        t0 = self.engine.now
+        while self.budget.over_limit:
+            client = next((c for c in self.clients if not c.dead), None)
+            if client is None:
+                break
+            before = self.budget.used_bytes
+            try:
+                evicted = yield from client._evict_once()
+            except RdmaFaultError:
+                evicted = False
+            if evicted:
+                failures = 0
+                self.counters.add("shrink_evictions")
+                self.counters.add(
+                    "shrink_evicted_bytes",
+                    max(0, before - self.budget.used_bytes),
+                )
+            else:
+                failures += 1
+                if failures > self.config.max_retries:
+                    break
+                backoff = self.config.retry_backoff_us or 20.0
+                yield Timeout(backoff)
+        if self.tracer is not None:
+            self.tracer.complete_at(
+                "memory.shrink", "cluster", t0, self.engine.now - t0,
+                args={"limit_bytes": self.budget.limit_bytes,
+                      "used_bytes": self.budget.used_bytes},
+            )
+
+    # -- elastic memory nodes (epoch-fenced membership) ---------------------
+
+    def _ensure_elastic(self) -> None:
+        """Arm the membership table and epoch fence (first scale event).
+
+        Lazy on purpose: until the node set actually changes, the fence
+        stays None and every verb takes the unfenced fast path, keeping
+        default runs byte-identical to the pre-elasticity build.
+        """
+        if self.membership is not None:
+            return
+        self.membership = MembershipTable(n.node_id for n in self.nodes)
+        self.fence = EpochFence()
+        # Clients learn the table from the metadata service on node 0; a
+        # fenced verb NACKs with StaleEpoch and the client refreshes.
+        self.controller.register(
+            "get_membership", lambda _payload: self.membership.snapshot(),
+            cpu_us=0.5,
+        )
+        for client in self.clients:
+            client.ep.fence = self.fence
+        if self.obs is not None:
+            obs_id = str(self.tracer.pid) if self.tracer is not None else "0"
+            self._epoch_gauge = self.obs.registry.gauge(
+                "elastic.epoch", cluster=obs_id
+            )
+
+    def _publish_epoch(self, epoch: int) -> None:
+        """Make a new membership epoch visible to fences and controllers."""
+        self.fence.advance(epoch)
+        for node in self.nodes:
+            node.controller.epoch = epoch
+        self.counters.add("epoch_bump")
+        if self._epoch_gauge is not None:
+            self._epoch_gauge.set(epoch)
+        if self.tracer is not None:
+            self.tracer.instant("membership.epoch", "migrate", {"epoch": epoch})
+
+    def add_memory_node(self, size_bytes: Optional[int] = None) -> MemoryNode:
+        """Grow the pool by one memory node (paper §7: elastic MN scaling).
+
+        The node gets a fresh address range above everything ever
+        provisioned, joins the membership table at a new epoch, and is
+        announced to every client's striped allocator out of band (growth
+        needs no fencing: a stale client that hasn't heard simply doesn't
+        place data there yet).  Returns the new node.
+        """
+        self._ensure_elastic()
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        size = size_bytes if size_bytes is not None else self._heap_per_node
+        node = MemoryNode(
+            self.engine, size=size, base=self._addr_high, node_id=node_id,
+            params=self.params,
+        )
+        Controller(node, cores=1)
+        self._addr_high = node.end
+        self.nodes.append(node)
+        self.pool.add(node)
+        for client in self.clients:
+            client.alloc.add_node(node)
+        epoch = self.membership.add(node_id)
+        self._publish_epoch(epoch)
+        if self.obs is not None:
+            obs_id = str(self.tracer.pid) if self.tracer is not None else "0"
+            prefix = f"c{obs_id}." if obs_id != "0" else ""
+            if self.tracer is not None:
+                node.controller.tracer = self.tracer
+            self.obs.watch(f"{prefix}mn{node_id}.nic", node.nic, self.engine)
+            self.obs.watch(
+                f"{prefix}mn{node_id}.cpu", node.controller.cpu, self.engine
+            )
+        self.counters.add("mn_added")
+        return node
+
+    def remove_memory_node(self, node_id: int, on_phase=None):
+        """Shrink the pool: drain ``node_id`` live, then retire it.
+
+        Two-phase, epoch-fenced (DESIGN §3.4):
+
+        * **Copy** — the node is marked DRAINING (epoch bump), its heap
+          range write-fenced, and its controller stops granting segments.
+          A migrator copies objects out hot-data-first (sampled freq /
+          recency), installing each move with a CAS on the object's hash
+          slot — concurrent client updates win the CAS and cost nothing.
+          Reads keep hitting the source copy throughout (degraded mode:
+          stale clients read from source until handoff; their writes are
+          fenced onto the new owner).
+        * **Handoff** — once a full scan moves nothing, a verify pass
+          re-scans; when it too is clean, the node flips to RETIRED
+          (second epoch bump), its range is fully fenced, and it leaves
+          the pool atomically at a single simulated instant.
+
+        Returns the drain :class:`~repro.sim.Process`; timed experiments
+        run it concurrently with traffic, ``DittoCache`` runs it to
+        completion.  ``on_phase(phase)`` fires at "copy", "handoff", and
+        "done"/"aborted" (fault-injection hooks).
+        """
+        self._ensure_elastic()
+        node = next((n for n in self.nodes if n.node_id == node_id), None)
+        if node is None:
+            raise ValueError(f"no memory node with id {node_id}")
+        if node is self.node:
+            raise ValueError(
+                "node 0 hosts the hash table and global metadata; it cannot "
+                "be removed"
+            )
+        if len(self.nodes) < 2:
+            raise ValueError("cannot remove the last memory node")
+        if self.membership.state(node_id) != ACTIVE:
+            raise ValueError(f"node {node_id} is already draining or retired")
+        # Capacity precheck (best effort): the drain must place the node's
+        # *live* data on fresh segments from the survivors.  Live bytes on
+        # one node are unknown without a scan but cannot exceed either the
+        # node's granted bytes or the cluster-wide budget usage; a shortfall
+        # against that bound would wedge the copy mid-way, so refuse up
+        # front.  (A mid-drain shortfall still aborts safely — the node
+        # reverts to ACTIVE.)
+        granted = sum(
+            size
+            for segs in node.controller.granted_segments().values()
+            for _addr, size in segs
+        )
+        need = min(granted, self.budget.used_bytes)
+        have = sum(
+            n.controller.bytes_remaining for n in self.nodes if n is not node
+        )
+        if have < need:
+            raise MigrationError(
+                f"cannot drain node {node_id}: survivors have {have} bytes "
+                f"free but up to {need} live bytes may need relocation"
+            )
+        epoch = self.membership.set_state(node_id, DRAINING)
+        self.fence.fence_writes(node.base, node.end, node_id)
+        self._publish_epoch(epoch)
+        node.controller.draining = True
+        record = MigrationRecord(
+            node_id=node_id, epoch_start=epoch, started_us=self.engine.now
+        )
+        self.migrations.append(record)
+        migrator = Migrator(self, node, record, on_phase=on_phase)
+        self._active_migrators.append(migrator)
+        self.counters.add("mn_remove_started")
+        return self.engine.spawn(migrator.drain(), name=f"drain_mn{node_id}")
+
+    def _finish_drain(self, migrator) -> Optional[DittoClient]:
+        """Atomic handoff: retire the drained node and purge references.
+
+        Called by the migrator after two consecutive clean scans, with no
+        yields — membership flip, fence, pool removal, and allocator purge
+        all land at one simulated instant, so no verb can observe a
+        half-retired node.  Returns the survivor that adopts the migrator's
+        allocator (grant-log reassignment follows via RPC in the drain
+        process), or None if every client is dead.
+        """
+        node = migrator.node
+        epoch = self.membership.set_state(node.node_id, RETIRED)
+        self.fence.retire(node.base, node.end, node.node_id)
+        self._publish_epoch(epoch)
+        migrator.record.epoch_end = epoch
+        for client in self.clients:
+            client.alloc.drop_node(node)
+        migrator.alloc.drop_node(node)
+        self.pool.remove(node)
+        self.nodes.remove(node)
+        self._active_migrators.remove(migrator)
+        self.counters.add("mn_removed")
+        survivor = next((c for c in self.clients if not c.dead), None)
+        if survivor is not None:
+            survivor.alloc.adopt(migrator.alloc)
+        return survivor
+
+    def _abort_drain(self, migrator) -> Optional[DittoClient]:
+        """Back out of a drain that cannot complete: the node returns to
+        ACTIVE at a new epoch and the write fence lifts.  Objects already
+        copied off stay where they landed (moving them back would be wasted
+        work); the migrator's allocator state goes to a survivor so every
+        byte stays accounted.  Synchronous, like :meth:`_finish_drain`."""
+        node = migrator.node
+        epoch = self.membership.set_state(node.node_id, ACTIVE)
+        self.fence.lift_writes(node.node_id)
+        self._publish_epoch(epoch)
+        node.controller.draining = False
+        migrator.record.epoch_end = epoch
+        migrator.record.phase = "aborted"
+        self._active_migrators.remove(migrator)
+        self.counters.add("mn_remove_aborted")
+        survivor = next((c for c in self.clients if not c.dead), None)
+        if survivor is not None:
+            survivor.alloc.adopt(migrator.alloc)
+        return survivor
 
     # -- crash recovery (fault injection only) ------------------------------
 
@@ -468,6 +777,29 @@ class DittoCache:
 
     def resize(self, capacity_objects: int) -> None:
         self.cluster.resize_memory(capacity_objects)
+        if self.cluster.budget.over_limit:
+            # Instant mode: drive the background shrink evictor until usage
+            # converges to the reduced budget before returning.
+            self.cluster.engine.run()
+
+    def add_memory_node(self) -> int:
+        """Grow the memory pool by one node; returns the new node's id."""
+        return self.cluster.add_memory_node().node_id
+
+    def remove_memory_node(self, node_id: int) -> Dict:
+        """Drain and retire a memory node, blocking until migration ends.
+
+        Returns the migration record as a dict (phase, migrated bytes and
+        objects, epoch span).  Raises if the drain aborted.
+        """
+        self.cluster.remove_memory_node(node_id)
+        self.cluster.engine.run()
+        record = self.cluster.migrations[-1]
+        if record.phase != "done":
+            raise RuntimeError(
+                f"drain of node {node_id} ended in phase {record.phase!r}"
+            )
+        return record.as_dict()
 
     # -- introspection --------------------------------------------------------
 

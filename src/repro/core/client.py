@@ -32,9 +32,15 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..memory import ClientAllocator, OutOfMemoryError, StripedAllocator
 from ..memory.node import BLOCK_SIZE
-from ..rdma.verbs import NodeUnavailable, RdmaEndpoint, RdmaFaultError
+from ..rdma.verbs import (
+    NodeUnavailable,
+    RdmaEndpoint,
+    RdmaFaultError,
+    StaleEpoch,
+)
 from ..sim import Timeout
 from . import layout as L
+from .elasticity import ACTIVE
 from .adaptive import ExpertWeights, bitmap_of
 from .fc_cache import FrequencyCounterCache
 from .history import HISTORY_WRAP, history_age, is_expired
@@ -135,6 +141,16 @@ class DittoClient:
         self.alloc = StripedAllocator(
             self.ep, cluster.nodes, cluster.segment_bytes, owner=client_id
         )
+        #: Epoch of the client's cached membership view; refreshed via the
+        #: ``get_membership`` RPC when a verb NACKs with StaleEpoch.
+        self.membership_epoch = 0
+        fence = getattr(cluster, "fence", None)
+        if fence is not None:
+            # Joining after the cluster's first membership change: arm the
+            # fence and start from the current membership view.
+            self.ep.fence = fence
+            self.alloc.set_active(cluster.membership.active_ids())
+            self.membership_epoch = cluster.membership.epoch
         self.policies = [make_policy(name) for name in self.config.policies]
         self.ext_fields: Tuple[str, ...] = cluster.ext_fields
         self.ext_bytes = 8 * len(self.ext_fields)
@@ -192,6 +208,26 @@ class DittoClient:
         if jitter > 0.0:
             delay *= 1.0 + jitter * self.rng.random()
         return delay
+
+    def _refresh_membership(self) -> Generator:
+        """Fetch the current membership table after a StaleEpoch NACK.
+
+        One RPC to the metadata service on node 0; the striped allocator
+        then stops placing fresh data on draining/retired nodes.  Reads are
+        unaffected (they keep hitting the source copy until handoff), so
+        refreshing only reroutes *writes* — the documented degraded mode of
+        a drain.
+        """
+        epoch, entries = yield from self.ep.rpc(self.node, "get_membership", None)
+        self.alloc.set_active(
+            [nid for nid, state in entries if state == ACTIVE]
+        )
+        self.membership_epoch = epoch
+        self.counters.add("membership_refresh")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "membership.refresh", "client", {"epoch": epoch}
+            )
 
     def _read_bucket(self, bucket: int) -> Generator:
         """Fetch and parse all slots of a bucket.
@@ -261,11 +297,18 @@ class DittoClient:
         cache from the backing store rather than aborting the run.
         """
         fault_attempts = 0
+        stale_refreshes = 0
+        need_refresh = False
         tracer = self.tracer
         hist = self._hist_get
         t0 = self.engine._now if tracer is not None or hist is not None else 0.0
         while True:
             try:
+                if need_refresh:
+                    # Inside the try so a faulted refresh RPC routes through
+                    # the same handlers as any other verb of this Get.
+                    need_refresh = False
+                    yield from self._refresh_membership()
                 result = yield from self._get_once(key)
                 if tracer is not None:
                     tracer.complete(
@@ -274,6 +317,12 @@ class DittoClient:
                 if hist is not None:
                     hist.record(self.engine._now - t0)
                 return result
+            except StaleEpoch:
+                stale_refreshes += 1
+                if stale_refreshes > self.config.epoch_retries:
+                    break  # membership churning faster than we can follow
+                self.counters.add("stale_epoch_retry")
+                need_refresh = True
             except NodeUnavailable:
                 # The MN is down for a whole outage window; retrying within
                 # one op is pointless.  Miss through and move on.
@@ -447,6 +496,7 @@ class DittoClient:
         )
         cas_attempts = 0
         fault_attempts = 0
+        stale_refreshes = 0
         attempts = 0
         tracer = self.tracer
         hist = self._hist_set
@@ -454,11 +504,46 @@ class DittoClient:
             attempts += 1
             try:
                 done = yield from self._try_set(key, value)
+            except StaleEpoch as err:
+                # A membership change fenced one of our verbs (pending block
+                # and budget were already rolled back inside _try_set).
+                # Refresh the cached view so the allocator reroutes, bounded
+                # separately from fault retries: churn is not packet loss.
+                stale_refreshes += 1
+                if stale_refreshes > self.config.epoch_retries:
+                    raise CacheOperationError(
+                        "set", key, "membership refresh budget exhausted",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start, cause=err,
+                    )
+                self.counters.add("stale_epoch_retry")
+                try:
+                    yield from self._refresh_membership()
+                except RdmaFaultError:
+                    pass  # next attempt fences again; retry budgets still bound us
+                done = False
             except OutOfMemoryError as err:
                 # Structured failure from the controller's alloc_segment RPC:
                 # reclaim space and retry rather than unwinding the run.
                 self.counters.add("alloc_oom")
-                evicted = yield from self._evict_once()
+                try:
+                    evicted = yield from self._evict_once()
+                except RdmaFaultError as fault:
+                    # The reclaim itself hit a fault window or a membership
+                    # fence; charge the fault budget and retry the op instead
+                    # of escaping the handler (nothing would catch it).
+                    fault_attempts += 1
+                    if fault_attempts > self.config.fault_retries:
+                        raise CacheOperationError(
+                            "set", key, "fault retries exhausted",
+                            attempts=attempts, fault_attempts=fault_attempts,
+                            elapsed_us=self.engine.now - start, cause=fault,
+                        )
+                    self.counters.add("fault_retry")
+                    delay = self._backoff_us(fault_attempts)
+                    if delay > 0.0:
+                        yield Timeout(delay)
+                    evicted = True  # outcome unknown; let the retry find out
                 if not evicted:
                     raise CacheOperationError(
                         "set", key, "memory nodes exhausted and nothing evictable",
@@ -816,11 +901,26 @@ class DittoClient:
         bucket = self.layout.bucket_index(key_hash)
         cas_attempts = 0
         fault_attempts = 0
+        stale_refreshes = 0
         attempts = 0
         while True:
             attempts += 1
             try:
                 outcome = yield from self._delete_once(key, fp, bucket)
+            except StaleEpoch as err:
+                stale_refreshes += 1
+                if stale_refreshes > self.config.epoch_retries:
+                    raise CacheOperationError(
+                        "delete", key, "membership refresh budget exhausted",
+                        attempts=attempts, fault_attempts=fault_attempts,
+                        elapsed_us=self.engine.now - start, cause=err,
+                    )
+                self.counters.add("stale_epoch_retry")
+                try:
+                    yield from self._refresh_membership()
+                except RdmaFaultError:
+                    pass
+                continue
             except RdmaFaultError as err:
                 fault_attempts += 1
                 if fault_attempts > self.config.fault_retries:

@@ -56,6 +56,10 @@ class DittoConfig:
     #: Delay between a client crash and a survivor starting recovery (models
     #: liveness-lease expiry at the quota/metadata service).
     crash_detect_us: float = 500.0
+    #: Membership refreshes allowed per operation when verbs come back
+    #: ``StaleEpoch`` (epoch-fenced elasticity); exhausting the budget turns
+    #: a Get into a miss and fails a Set/Delete like other fault retries.
+    epoch_retries: int = 8
 
     # -- ablation switches (Figure 24) ------------------------------------
     #: Sample-friendly hash table: metadata in slots, 1-READ sampling.
@@ -76,6 +80,8 @@ class DittoConfig:
             raise ValueError("sample_size must be >= 1")
         if self.fault_retries < 0:
             raise ValueError("fault_retries must be >= 0")
+        if self.epoch_retries < 0:
+            raise ValueError("epoch_retries must be >= 0")
         for name in (
             "retry_backoff_us",
             "retry_backoff_max_us",

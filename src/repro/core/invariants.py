@@ -32,14 +32,23 @@ class InvariantViolation(AssertionError):
 
 
 def _client_regions(cluster) -> Tuple[List, List, List]:
-    """Free-list, bump-tail, and spare intervals across every client."""
+    """Free-list, bump-tail, and spare intervals across every client.
+
+    Migrations in flight (elastic node drains) hold memory through their own
+    striped allocators until a survivor adopts them at retire time; those
+    regions are part of the accounting too.
+    """
     free: List[Tuple[int, int]] = []
     bump: List[Tuple[int, int]] = []
     spare: List[Tuple[int, int]] = []
     from ..memory.node import BLOCK_SIZE
 
-    for client in cluster.clients:
-        for alloc in client.alloc.allocators:
+    holders = [client.alloc for client in cluster.clients]
+    holders.extend(
+        migrator.alloc for migrator in getattr(cluster, "_active_migrators", ())
+    )
+    for striped in holders:
+        for alloc in striped.allocators:
             for nblocks, addrs in alloc._free.items():
                 for addr in addrs:
                     free.append((addr, nblocks * BLOCK_SIZE))
@@ -105,7 +114,20 @@ def sweep(cluster) -> Dict[str, int]:
                 f"{tag_b} region starting at {addr_b}"
             )
 
-    # 2. Every region lies inside some granted segment.
+    # 2a. Every region lies inside a *current* memory node: a region (or a
+    # live slot pointer) into a node retired by an elastic removal means a
+    # block leaked — or stayed double-owned — across an epoch change.
+    spans = sorted((node.base, node.end) for node in cluster.nodes)
+    for tag, addr, size in ordered:
+        inside = any(base <= addr and addr + size <= end for base, end in spans)
+        if not inside:
+            raise InvariantViolation(
+                f"{tag} region [{addr}, {addr + size}) lies outside every "
+                "current memory node (dangling reference across an epoch "
+                "change?)"
+            )
+
+    # 2b. Every region lies inside some granted segment.
     segs = sorted(granted)
     for tag, addr, size in ordered:
         inside = any(

@@ -119,12 +119,6 @@ class ClientAllocator:
         nblocks = self.blocks_for(nbytes)
         size = nblocks * BLOCK_SIZE
         if self._bump_addr is None or self._bump_addr + size > self._bump_end:
-            if self._bump_addr is not None and self._bump_addr < self._bump_end:
-                # The refill abandons the remainder; park it on the spare
-                # list so the bytes stay accounted for.
-                self._spare.append(
-                    (self._bump_addr, self._bump_end - self._bump_addr)
-                )
             want = max(self.segment_bytes, size)
             tracer = self.endpoint.tracer
             t0 = self.endpoint.engine._now if tracer is not None else 0.0
@@ -135,6 +129,14 @@ class ClientAllocator:
                 tracer.complete(
                     "alloc.segment", "allocator", t0,
                     {"bytes": want, "node": self.node.node_id},
+                )
+            # Only after the RPC succeeded: park the abandoned remainder on
+            # the spare list.  Doing it before the RPC would leave the same
+            # region both spare and bump-servable if the RPC fails (OOM or
+            # an injected fault) — a double-owned range.
+            if self._bump_addr is not None and self._bump_addr < self._bump_end:
+                self._spare.append(
+                    (self._bump_addr, self._bump_end - self._bump_addr)
                 )
             self._segments.append((addr, want))
             self._bump_addr = addr
@@ -202,11 +204,20 @@ class StripedAllocator:
         if not nodes:
             raise ValueError("need at least one memory node")
         self.owner = owner
+        self._endpoint = endpoint
+        self._segment_bytes = segment_bytes
         self._allocators = [
             ClientAllocator(endpoint, node, segment_bytes, owner=owner)
             for node in nodes
         ]
         self._nodes = list(nodes)
+        #: Per-node flag: only active nodes serve fresh allocations.  Frees
+        #: still route to inactive (draining) nodes' allocators by address.
+        self._active = [True] * len(nodes)
+        #: (base, end) ranges of nodes dropped by elastic removal: a free
+        #: targeting one is a stale pointer into memory that no longer
+        #: exists, dropped silently instead of raising.
+        self._retired_ranges: List[Tuple[int, int]] = []
         self._next = 0
 
     blocks_for = staticmethod(ClientAllocator.blocks_for)
@@ -214,14 +225,19 @@ class StripedAllocator:
     def alloc(self, nbytes: int) -> Generator:
         # Recycled blocks first, wherever they live: reuse beats fresh
         # segments regardless of the striping cursor.
-        for allocator in self._allocators:
+        for allocator, active in zip(self._allocators, self._active):
+            if not active:
+                continue
             recycled = allocator.try_alloc_free(nbytes)
             if recycled is not None:
                 return recycled
         last_error: Optional[Exception] = None
         for _ in range(len(self._allocators)):
             allocator = self._allocators[self._next]
+            active = self._active[self._next]
             self._next = (self._next + 1) % len(self._allocators)
+            if not active:
+                continue
             try:
                 addr = yield from allocator.alloc(nbytes)
                 return addr
@@ -234,7 +250,48 @@ class StripedAllocator:
             if node.contains(addr, 1):
                 allocator.free(addr, nbytes)
                 return
+        for base, end in self._retired_ranges:
+            if base <= addr < end:
+                return  # stale pointer into a removed node; nothing to track
         raise ValueError(f"address {addr} not owned by any node")
+
+    # -- elastic membership -------------------------------------------------
+
+    def set_active(self, active_node_ids) -> None:
+        """Restrict fresh allocations to the given node ids (membership)."""
+        ids = set(active_node_ids)
+        self._active = [node.node_id in ids for node in self._nodes]
+
+    def add_node(self, node, active: bool = True) -> None:
+        """Start striping over a newly added memory node."""
+        if any(existing is node for existing in self._nodes):
+            return
+        self._allocators.append(
+            ClientAllocator(
+                self._endpoint, node, self._segment_bytes, owner=self.owner
+            )
+        )
+        self._nodes.append(node)
+        self._active.append(active)
+
+    def drop_node(self, node) -> "ClientAllocator":
+        """Forget a removed node: its allocator state (free lists, bump tail,
+        spares, grant records) is discarded with the node's memory.  Returns
+        the dropped per-node allocator for inspection."""
+        for index, candidate in enumerate(self._nodes):
+            if candidate is node:
+                break
+        else:
+            raise ValueError(f"node {node!r} not striped by this allocator")
+        dropped = self._allocators.pop(index)
+        del self._nodes[index]
+        del self._active[index]
+        self._retired_ranges.append((node.base, node.end))
+        if self._nodes:
+            self._next %= len(self._nodes)
+        else:
+            self._next = 0
+        return dropped
 
     @property
     def free_blocks(self) -> int:
@@ -255,8 +312,30 @@ class StripedAllocator:
         return [seg for a in self._allocators for seg in a.segments]
 
     def adopt(self, other: "StripedAllocator") -> None:
-        """Absorb a crashed client's striped allocator, node by node."""
-        for mine, theirs in zip(self._allocators, other._allocators):
+        """Absorb another striped allocator's state, matched by node.
+
+        Matching by node identity (not list position) keeps adoption correct
+        when the two allocators saw elastic node adds/removes in different
+        orders.  A non-empty allocator for a node this side does not stripe
+        is an error — its bytes would silently vanish.
+        """
+        for node, theirs in zip(other._nodes, other._allocators):
+            mine = None
+            for candidate, allocator in zip(self._nodes, self._allocators):
+                if candidate is node:
+                    mine = allocator
+                    break
+            if mine is None:
+                if (
+                    theirs._free or theirs._spare or theirs._segments
+                    or (theirs._bump_addr is not None
+                        and theirs._bump_addr < theirs._bump_end)
+                ):
+                    raise ValueError(
+                        f"cannot adopt non-empty allocator for unknown node "
+                        f"{node.node_id}"
+                    )
+                continue
             mine.adopt(theirs)
 
 

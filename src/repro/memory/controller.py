@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, Optional, Tuple, Union
 
+from ..rdma.verbs import StaleEpoch
 from ..sim import Engine, Resource, Timeout
 from .node import BLOCK_SIZE, MemoryNode
 
@@ -48,10 +49,17 @@ class Controller:
         self._grants: Dict[int, list] = {}
         #: Span tracer (repro.obs); None keeps serve() span-free.
         self.tracer = None
+        #: Once True (the node is draining out of the pool), segment
+        #: allocation is fenced: ``alloc_segment`` NACKs with StaleEpoch so
+        #: stale clients stop placing new data here.  ``epoch`` is the
+        #: membership epoch the NACK advertises.
+        self.draining = False
+        self.epoch = 0
         node.controller = self
         self.register("alloc_segment", self._alloc_segment)
         self.register("free_segment", self._free_segment)
         self.register("list_segments", self._list_segments)
+        self.register("reassign_grants", self._reassign_grants)
 
     @property
     def cores(self) -> int:
@@ -97,6 +105,12 @@ class Controller:
         ``payload`` is either a plain size or ``(size, owner)``; grants are
         logged under the owner (anonymous callers share owner ``-1``).
         """
+        if self.draining:
+            raise StaleEpoch(
+                f"node {self.node.node_id} is draining at epoch "
+                f"{self.epoch}: no new segment grants",
+                verb="rpc", node_id=self.node.node_id, epoch=self.epoch,
+            )
         if isinstance(payload, tuple):
             size, owner = payload
         else:
@@ -127,6 +141,20 @@ class Controller:
     def _list_segments(self, owner: int) -> list:
         """Segments currently granted to ``owner`` (crash reconciliation)."""
         return list(self._grants.get(owner, ()))
+
+    def _reassign_grants(self, payload: Tuple[int, int]) -> int:
+        """Move every grant from one owner to another; returns the count.
+
+        Used when a client leaves gracefully (its survivor absorbs the
+        grants) and when a finished migration's segments are handed to a
+        surviving client — so a later crash of the new owner still
+        reconciles the full grant set.
+        """
+        from_owner, to_owner = payload
+        moving = self._grants.pop(from_owner, [])
+        if moving:
+            self._grants.setdefault(to_owner, []).extend(moving)
+        return len(moving)
 
     def granted_segments(self) -> Dict[int, list]:
         """Snapshot of the grant log (offline introspection, zero cost)."""

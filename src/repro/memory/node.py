@@ -120,6 +120,10 @@ class MemoryPool:
         self.nodes.append(node)
         self._check_disjoint()
 
+    def remove(self, node: MemoryNode) -> None:
+        """Detach a node (elastic removal); its range stops resolving."""
+        self.nodes.remove(node)
+
     def node_for(self, addr: int, length: int = 1) -> MemoryNode:
         for node in self.nodes:
             if node.contains(addr, length):

@@ -1,7 +1,13 @@
 """Simulated one-sided RDMA fabric (verbs, NIC model, timing parameters)."""
 
 from .params import DEFAULT_PARAMS, NetworkParams
-from .verbs import NodeUnavailable, RdmaEndpoint, RdmaFaultError, VerbTimeout
+from .verbs import (
+    NodeUnavailable,
+    RdmaEndpoint,
+    RdmaFaultError,
+    StaleEpoch,
+    VerbTimeout,
+)
 
 __all__ = [
     "DEFAULT_PARAMS",
@@ -9,5 +15,6 @@ __all__ = [
     "NodeUnavailable",
     "RdmaEndpoint",
     "RdmaFaultError",
+    "StaleEpoch",
     "VerbTimeout",
 ]

@@ -49,6 +49,24 @@ class NodeUnavailable(RdmaFaultError):
     """The target memory node is down; the verb cannot complete."""
 
 
+class StaleEpoch(RdmaFaultError):
+    """The verb was fenced: the client's cached membership epoch is stale.
+
+    Raised when a verb targets memory whose ownership changed under an
+    epoch bump (a memory node draining out or already retired).  Unlike a
+    timeout, the rejection is immediate — the MN NACKs the request against
+    its current epoch — so the client should refresh its membership view
+    and retry, bounded by ``DittoConfig.epoch_retries``.  Subclassing
+    :class:`RdmaFaultError` keeps any unhandled path on the existing
+    degrade-not-crash fault machinery.
+    """
+
+    def __init__(self, message: str, verb: str = "", node_id: int = -1,
+                 epoch: int = 0):
+        super().__init__(message, verb=verb, node_id=node_id)
+        self.epoch = epoch
+
+
 class RdmaEndpoint:
     """A client-side RDMA endpoint (one per simulated client thread)."""
 
@@ -59,6 +77,7 @@ class RdmaEndpoint:
         "counters",
         "faults",
         "tracer",
+        "fence",
         "_single_node",
         "_lead",
         "_lag",
@@ -88,6 +107,12 @@ class RdmaEndpoint:
         self.faults = faults
         #: Span tracer (repro.obs); None keeps verbs span-free.
         self.tracer = tracer
+        #: Epoch fence (repro.core.elasticity.EpochFence); None — the
+        #: default until a cluster's first membership change — keeps every
+        #: verb on the unfenced fast path.  Checked at issue time: a fenced
+        #: verb is NACKed immediately with :class:`StaleEpoch` instead of
+        #: reaching the NIC pipe.
+        self.fence = None
         # Pre-resolved fast path for the common single-MN pool.
         self._single_node = pool.nodes[0] if len(pool.nodes) == 1 else None
         self._lead = self.params.client_overhead_us + self.params.one_way_us()
@@ -150,9 +175,13 @@ class RdmaEndpoint:
 
     def _post_safely(self, gen: Generator) -> Generator:
         """Background posts must swallow injected faults: an unsignalled
-        write that vanishes costs nothing but the update it carried."""
+        write that vanishes costs nothing but the update it carried.  The
+        same goes for epoch-fenced posts — a best-effort metadata update
+        aimed at a draining node is simply dropped."""
         try:
             yield from gen
+        except StaleEpoch:
+            self.counters.add("fenced_post_dropped")
         except RdmaFaultError:
             self.counters.add("fault_post_dropped")
 
@@ -160,6 +189,11 @@ class RdmaEndpoint:
 
     def read(self, addr: int, length: int) -> Generator:
         """RDMA_READ: returns ``length`` bytes from remote memory."""
+        # Fence before address resolution: a retired node has left the pool,
+        # so a stale pointer must NACK as StaleEpoch, not unwind as a
+        # MemoryAccessError from the routing lookup.
+        if self.fence is not None:
+            self.fence.check_read(addr, "read", -1)
         node = self._node_for(addr, length)
         self.counters.add("rdma_read")
         tracer = self.tracer
@@ -178,6 +212,8 @@ class RdmaEndpoint:
 
     def write(self, addr: int, data: bytes) -> Generator:
         """RDMA_WRITE: stores ``data`` at ``addr``."""
+        if self.fence is not None:
+            self.fence.check_write(addr, "write", -1)
         node = self._node_for(addr, len(data))
         self.counters.add("rdma_write")
         tracer = self.tracer
@@ -199,6 +235,8 @@ class RdmaEndpoint:
 
         The swap succeeded iff the returned value equals ``expected``.
         """
+        if self.fence is not None:
+            self.fence.check_write(addr, "cas", -1)
         node = self._node_for(addr, 8)
         self.counters.add("rdma_cas")
         tracer = self.tracer
@@ -213,6 +251,8 @@ class RdmaEndpoint:
 
     def faa(self, addr: int, delta: int) -> Generator:
         """RDMA_FAA on an 8-byte word; returns the old value."""
+        if self.fence is not None:
+            self.fence.check_write(addr, "faa", -1)
         node = self._node_for(addr, 8)
         self.counters.add("rdma_faa")
         tracer = self.tracer
@@ -249,6 +289,8 @@ class RdmaEndpoint:
         """RDMA-based RPC served by the (weak) controller CPU of ``node``."""
         if node.controller is None:
             raise RuntimeError(f"memory node {node.node_id} has no controller")
+        if self.fence is not None:
+            self.fence.check_rpc(node.node_id, "rpc")
         self.counters.add("rdma_rpc")
         tracer = self.tracer
         t0 = self.engine._now if tracer is not None else 0.0
@@ -270,14 +312,15 @@ class RdmaEndpoint:
 
     def post_write(self, addr: int, data: bytes) -> Process:
         """Fire-and-forget WRITE; returns the background process."""
-        gen = self.write(addr, data)
-        if self.faults is not None:
-            gen = self._post_safely(gen)
-        return self.engine.spawn(gen, name="post_write")
+        # Always wrapped: a fence can be armed after the post is spawned but
+        # before it executes (first membership change), and an unsignalled
+        # post must never unwind the engine.
+        return self.engine.spawn(
+            self._post_safely(self.write(addr, data)), name="post_write"
+        )
 
     def post_faa(self, addr: int, delta: int) -> Process:
         """Fire-and-forget FAA; returns the background process."""
-        gen = self.faa(addr, delta)
-        if self.faults is not None:
-            gen = self._post_safely(gen)
-        return self.engine.spawn(gen, name="post_faa")
+        return self.engine.spawn(
+            self._post_safely(self.faa(addr, delta)), name="post_faa"
+        )

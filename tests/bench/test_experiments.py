@@ -7,6 +7,7 @@ scale) — they pin the result schemas and that each driver runs end to end.
 import pytest
 
 from repro.bench.experiments import (
+    extra_elasticity_churn,
     fig01_redis_elasticity,
     fig02_caching_structure_cost,
     fig03_client_mix,
@@ -77,6 +78,23 @@ def test_fig13_schema():
     )
     phases = {row["phase"] for row in result["timeline"]}
     assert "compute-scaled-up" in phases and "memory-scaled-down" in phases
+    # Memory scale-down is a real drain now: node 1 retired, data migrated.
+    (migration,) = result["migrations"]
+    assert migration["phase"] == "done"
+    assert migration["migrated_bytes"] > 0
+    assert result["epoch_bumps"] >= 3  # add, draining, retired
+
+
+def test_extra_elasticity_churn_schema():
+    result = extra_elasticity_churn.run(
+        n_keys=300, num_clients=2, cycles=2,
+        phase_us=5_000.0, window_us=2_500.0,
+    )
+    assert [m["phase"] for m in result["migrations"]] == ["done", "done"]
+    assert all(m["migrated_objects"] > 0 for m in result["migrations"])
+    assert result["node_ids"] == [0, 3]  # 1 and 2 drained, 3 survived
+    assert result["sweep"]["live_bytes"] > 0
+    assert result["epoch"] == 6  # two adds, two drains at two bumps each
 
 
 def test_fig14_schema():
