@@ -1,0 +1,166 @@
+"""Pluggable job dispatchers for the parallel benchmark runner.
+
+:class:`ParallelRunner` (``repro.bench.parallel``) separates *what* to run
+(spawn-safe job specs: ``module:attr`` + JSON params) from *where* to run it.
+A dispatcher takes the list of cache-miss specs and returns one raw result
+per spec, in order:
+
+- :class:`LocalPoolDispatcher` — the default: a spawn-context
+  ``ProcessPoolExecutor`` on this machine (inline when one worker or one
+  job, so small runs skip pool startup).
+- :class:`FileQueueDispatcher` — a shared-directory job/result queue for
+  multi-host sweeps.  The dispatcher enqueues specs as JSON files under
+  ``<root>/jobs/``; any number of workers (``python -m repro.bench.worker
+  <root>``, started by hand, by SSH, or by a cluster scheduler) claim jobs
+  with an atomic rename, execute them, and write ``<root>/results/``.  Any
+  shared filesystem works as transport — NFS, sshfs, or a cloud mount —
+  because jobs are already deterministic, self-contained, and JSON-encoded.
+
+Selection is explicit (``ParallelRunner(dispatcher=...)``) or via the
+``REPRO_DISPATCHER`` environment variable: ``local`` (default) or
+``file:/path/to/queue``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: (raw result dict, seconds the job took) — what dispatchers return per spec.
+DispatchResult = Tuple[Dict[str, Any], float]
+
+
+class DispatchError(RuntimeError):
+    """A job failed remotely or the queue timed out."""
+
+
+def _timed_execute(spec: Dict[str, Any]) -> DispatchResult:
+    """Run one spec in this process; module-level for spawn picklability."""
+    from .parallel import execute_job
+
+    started = time.perf_counter()
+    raw = execute_job(spec)
+    return raw, time.perf_counter() - started
+
+
+class LocalPoolDispatcher:
+    """Process-pool execution on this machine (the classic backend)."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def dispatch(self, specs: Sequence[Dict[str, Any]]) -> List[DispatchResult]:
+        if self.workers == 1 or len(specs) == 1:
+            return [_timed_execute(spec) for spec in specs]
+        # spawn: workers import modules fresh, never inheriting engine or
+        # rng state from the parent — determinism holds regardless of what
+        # the parent has already simulated.
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(specs)),
+            mp_context=get_context("spawn"),
+        ) as pool:
+            return list(pool.map(_timed_execute, specs))
+
+
+class FileQueueDispatcher:
+    """Fan jobs out through a shared directory; workers may live anywhere.
+
+    Queue layout under ``root``::
+
+        jobs/<id>.json         enqueued spec (atomic write)
+        claims/<id>.json       spec mid-execution (atomic rename = claim)
+        results/<id>.json      {"raw": ..., "elapsed_s": ...} or {"error": ...}
+
+    The claim rename is the whole coordination protocol: exactly one worker
+    wins the rename, every other claimant gets a missing-file error and
+    moves on.  Results are collected by polling, which is cheap at
+    simulation-job granularity (seconds to minutes each).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        poll_s: float = 0.2,
+        timeout_s: Optional[float] = 3600.0,
+    ):
+        self.root = Path(root)
+        self.poll_s = poll_s
+        self.timeout_s = timeout_s
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+
+    def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
+        tmp = path.with_suffix(f".tmp-{uuid.uuid4().hex[:8]}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def dispatch(self, specs: Sequence[Dict[str, Any]]) -> List[DispatchResult]:
+        for d in (self.jobs_dir, self.claims_dir, self.results_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        batch = uuid.uuid4().hex[:12]
+        job_ids = [f"{batch}-{i:06d}" for i in range(len(specs))]
+        for job_id, spec in zip(job_ids, specs):
+            self._write_atomic(self.jobs_dir / f"{job_id}.json", dict(spec))
+
+        outcomes: Dict[str, DispatchResult] = {}
+        deadline = (
+            time.monotonic() + self.timeout_s
+            if self.timeout_s is not None
+            else None
+        )
+        missing = set(job_ids)
+        while missing:
+            for job_id in sorted(missing):
+                path = self.results_dir / f"{job_id}.json"
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        entry = json.load(fh)
+                except FileNotFoundError:
+                    continue
+                except json.JSONDecodeError:
+                    continue  # torn read of a non-atomic writer; retry
+                if "error" in entry:
+                    raise DispatchError(
+                        f"job {job_id} failed on "
+                        f"{entry.get('worker', '<unknown worker>')}: "
+                        f"{entry['error']}"
+                    )
+                outcomes[job_id] = (entry["raw"], entry.get("elapsed_s", 0.0))
+                missing.discard(job_id)
+                path.unlink(missing_ok=True)
+            if not missing:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise DispatchError(
+                    f"file queue timed out after {self.timeout_s}s with "
+                    f"{len(missing)} job(s) unfinished (is a worker running? "
+                    f"start one with: python -m repro.bench.worker {self.root})"
+                )
+            time.sleep(self.poll_s)
+        return [outcomes[job_id] for job_id in job_ids]
+
+
+def from_env(workers: int) -> Any:
+    """Build the dispatcher named by ``REPRO_DISPATCHER`` (default local).
+
+    ``local`` → :class:`LocalPoolDispatcher`; ``file:<root>`` →
+    :class:`FileQueueDispatcher` rooted at ``<root>``.
+    """
+    setting = os.environ.get("REPRO_DISPATCHER", "local")
+    if setting in ("", "local"):
+        return LocalPoolDispatcher(workers)
+    if setting.startswith("file:"):
+        return FileQueueDispatcher(setting[5:])
+    raise ValueError(
+        f"unknown REPRO_DISPATCHER {setting!r}; expected 'local' or 'file:<root>'"
+    )

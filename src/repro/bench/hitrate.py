@@ -30,31 +30,37 @@ def make_hit_cache(system: str, capacity: int, seed: int = 0):
     raise ValueError(f"unknown hit-rate system {system!r}")
 
 
+def _replay_span(cache, span) -> None:
+    """Feed one trace span through a cache, batched when it supports it.
+
+    The single dispatch point for every replay helper: caches exposing
+    ``access_many`` (the sampled/exact simulators) take the batched path —
+    which itself picks the vectorized replay when eligible — and anything
+    else falls back to per-key ``access`` calls.
+    """
+    access_many = getattr(cache, "access_many", None)
+    if access_many is not None:
+        access_many(np.asarray(span))
+    else:
+        access = cache.access
+        for key in span:
+            access(int(key))
+
+
 def replay(cache, trace: Sequence[int]) -> float:
     """Replay a trace (miss inserts, as a miss-penalty Set would); returns
     the overall hit rate."""
-    access_many = getattr(cache, "access_many", None)
-    if access_many is not None:
-        access_many(np.asarray(trace))
-    else:
-        access = cache.access
-        for key in trace:
-            access(int(key))
+    _replay_span(cache, trace)
     return cache.hit_rate()
 
 
 def replay_windowed(cache, trace: Sequence[int], windows: int) -> List[float]:
     """Hit rate per consecutive trace window (for phase/timeline figures)."""
     spans = np.array_split(np.asarray(trace), windows)
-    access_many = getattr(cache, "access_many", None)
     rates: List[float] = []
     for span in spans:
         h0, m0 = cache.hits, cache.misses
-        if access_many is not None:
-            access_many(span)
-        else:
-            for key in span:
-                cache.access(int(key))
+        _replay_span(cache, span)
         total = cache.hits + cache.misses - h0 - m0
         rates.append((cache.hits - h0) / total if total else 0.0)
     return rates

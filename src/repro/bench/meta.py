@@ -2,34 +2,47 @@
 
 The benchmark suite's wall-clock is bounded by two hot loops: the
 discrete-event engine (timed-tier experiments) and the trace-replay cache
-simulator (hit-rate-tier experiments).  This module measures both in
-isolation —
+simulator (hit-rate-tier experiments).  Both now have a batched fast path
+next to the scalar one, so every micro-benchmark here reports **pairs**:
 
-- **engine events/sec**: N processes ping-ponging Timeouts through one
-  engine, the pop-dispatch loop and Process._step and nothing else;
-- **rdma verbs/sec**: clients issuing READs through the full verb layer
-  (endpoint → NIC booking → memory node), the timed tier's actual per-op
-  path;
-- **cachesim accesses/sec**: a Zipfian trace replayed through
-  ``SampledAdaptiveCache`` with the adaptive (lru, lfu) configuration —
+- **engine events/sec** — N processes ping-ponging Timeouts through one
+  engine.  ``scalar`` pins the engine to the classic pop-dispatch loop;
+  ``storm`` lets the uniform-delay storm mode engage.  The storm variant
+  hoists one immutable ``Timeout`` out of the loop (``Timeout`` carries only
+  its delay, so reuse is safe) — that is the idiomatic shape for pure
+  delay loops and what the fast path is built for.
+- **rdma verbs/sec** — READs through the full verb layer (endpoint → NIC
+  booking → memory node).  ``scalar`` awaits each verb; ``burst`` issues
+  doorbell-batched ``read_burst`` trains of 64.
+- **cachesim accesses/sec** — Zipfian traces replayed through
+  ``SampledAdaptiveCache`` with the adaptive (lru, lfu) configuration, over
+  a basket of regimes (``churn``: cap ≪ keys, mostly misses; ``balanced``:
+  cap = keys/2; ``hot``: θ=1.1 skew).  Each runs the scalar loop and the
+  numpy-vectorized replay — byte-identical results, different speed.
 
-and writes the rates to ``BENCH_sim_speed.json`` so the performance
-trajectory of the substrate is tracked from PR to PR.
+The report (schema 2) keeps a bounded history of past headline rows so the
+substrate's performance trajectory is tracked from PR to PR, and
+``--check`` turns the file into a regression gate for CI: a fresh run must
+stay within ``REPRO_PERF_THRESHOLD`` (default 0.30 = 30%) of the committed
+headline.
 
 Usage::
 
-    python -m repro.bench.meta              # writes BENCH_sim_speed.json
-    python -m repro.bench.meta out.json     # custom output path
+    python -m repro.bench.meta                 # writes BENCH_sim_speed.json
+    python -m repro.bench.meta out.json        # custom output path
+    python -m repro.bench.meta --check         # compare vs committed file
+    REPRO_PERF_THRESHOLD=0.5 python -m repro.bench.meta --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
-import sys
 import time
 from datetime import datetime, timezone
-from typing import Dict
+from typing import Any, Dict, List, Optional
 
 from ..cachesim import SampledAdaptiveCache
 from ..memory import MemoryNode, MemoryPool
@@ -39,14 +52,48 @@ from ..workloads import ZipfianGenerator
 
 DEFAULT_OUTPUT = "BENCH_sim_speed.json"
 
+#: Past headline rows retained in the report (newest first).
+HISTORY_LIMIT = 20
 
-def bench_engine(processes: int = 100, events_per_process: int = 2000) -> Dict:
-    """Pure event-loop throughput: Timeout-only processes."""
+#: Allowed fractional slowdown vs the committed headline before ``--check``
+#: fails; override with ``REPRO_PERF_THRESHOLD`` (CI runners are noisy —
+#: set it generously there).
+DEFAULT_THRESHOLD = 0.30
+
+#: Headline metrics ``--check`` gates on.
+CHECKED_METRICS = (
+    "engine_events_per_sec",
+    "rdma_verbs_per_sec",
+    "cachesim_accesses_per_sec",
+)
+
+#: The cachesim basket: regime name → trace/cache parameters.
+CACHESIM_CONFIGS: Dict[str, Dict[str, Any]] = {
+    "churn": {"n_accesses": 400_000, "n_keys": 16384, "capacity": 2048,
+              "theta": 0.99},
+    "balanced": {"n_accesses": 400_000, "n_keys": 16384, "capacity": 8192,
+                 "theta": 0.99},
+    "hot": {"n_accesses": 400_000, "n_keys": 16384, "capacity": 8192,
+            "theta": 1.1},
+}
+
+
+def bench_engine(
+    processes: int = 100, events_per_process: int = 2000, batch: bool = True
+) -> Dict:
+    """Pure event-loop throughput: Timeout-only processes.
+
+    ``batch=False`` pins the engine to the scalar pop-dispatch loop;
+    ``batch=True`` measures the uniform-delay storm fast path.
+    """
     engine = Engine()
+    if not batch:
+        engine.disable_batch("benchmark-scalar")
+    pause = Timeout(1.0)  # immutable; hoisting it keeps the loop allocation-free
 
     def ping(n):
         for _ in range(n):
-            yield Timeout(1.0)
+            yield pause
 
     for _ in range(processes):
         engine.spawn(ping(events_per_process))
@@ -62,8 +109,14 @@ def bench_engine(processes: int = 100, events_per_process: int = 2000) -> Dict:
     }
 
 
-def bench_rdma(clients: int = 32, verbs_per_client: int = 5000) -> Dict:
-    """The timed tier's per-op path: READ verbs through NIC booking."""
+def bench_rdma(
+    clients: int = 32, verbs_per_client: int = 5000, burst: int = 0
+) -> Dict:
+    """The timed tier's per-op path: READ verbs through NIC booking.
+
+    ``burst=N`` (N > 1) issues doorbell-batched trains of N via
+    ``read_burst`` instead of awaiting each verb individually.
+    """
     engine = Engine()
     node = MemoryNode(engine, size=1 << 20)
     pool = MemoryPool([node])
@@ -72,8 +125,17 @@ def bench_rdma(clients: int = 32, verbs_per_client: int = 5000) -> Dict:
         for i in range(n):
             yield from endpoint.read((i * 64) % 65536, 64)
 
+    def burst_client(endpoint, n, train):
+        for i in range(0, n, train):
+            yield from endpoint.read_burst((i * 64) % 65536, 64,
+                                           min(train, n - i))
+
     for _ in range(clients):
-        engine.spawn(client(RdmaEndpoint(engine, pool), verbs_per_client))
+        endpoint = RdmaEndpoint(engine, pool)
+        if burst > 1:
+            engine.spawn(burst_client(endpoint, verbs_per_client, burst))
+        else:
+            engine.spawn(client(endpoint, verbs_per_client))
     verbs = clients * verbs_per_client
     started = time.perf_counter()
     engine.run()
@@ -86,14 +148,35 @@ def bench_rdma(clients: int = 32, verbs_per_client: int = 5000) -> Dict:
 
 
 def bench_cachesim(
-    n_accesses: int = 400_000, n_keys: int = 16384, capacity: int = 2048
+    n_accesses: int = 400_000,
+    n_keys: int = 16384,
+    capacity: int = 2048,
+    theta: float = 0.99,
+    vectorized: bool = True,
 ) -> Dict:
-    """Trace-replay throughput of the adaptive cache simulator."""
-    trace = ZipfianGenerator(n_keys, seed=11).sample(n_accesses)
+    """Trace-replay throughput of the adaptive cache simulator.
+
+    ``vectorized=False`` forces the scalar per-access loop (via
+    ``REPRO_VECTORIZE=0``, the same switch users have); the default lets
+    ``access_many`` pick the numpy replay.  Results are byte-identical
+    either way — that identity is what ``tests/cachesim/test_vectorized.py``
+    enforces.
+    """
+    trace = ZipfianGenerator(n_keys, theta=theta, seed=11).sample(n_accesses)
     cache = SampledAdaptiveCache(capacity, policies=("lru", "lfu"), seed=0)
-    started = time.perf_counter()
-    cache.access_many(trace)
-    elapsed = time.perf_counter() - started
+    previous = os.environ.get("REPRO_VECTORIZE")
+    if not vectorized:
+        os.environ["REPRO_VECTORIZE"] = "0"
+    try:
+        started = time.perf_counter()
+        cache.access_many(trace)
+        elapsed = time.perf_counter() - started
+    finally:
+        if not vectorized:
+            if previous is None:
+                os.environ.pop("REPRO_VECTORIZE", None)
+            else:
+                os.environ["REPRO_VECTORIZE"] = previous
     return {
         "accesses": n_accesses,
         "elapsed_s": elapsed,
@@ -103,47 +186,179 @@ def bench_cachesim(
     }
 
 
+def _best(rounds: List[Dict], rate_key: str) -> Dict:
+    return max(rounds, key=lambda r: r[rate_key])
+
+
+def _round_rates(record: Dict) -> Dict:
+    out = {}
+    for k, v in record.items():
+        if k in ("elapsed_s", "hit_rate"):
+            out[k] = round(v, 4)
+        elif isinstance(v, float):
+            out[k] = round(v, 1)
+        else:
+            out[k] = v
+    return out
+
+
 def run(repeats: int = 3) -> Dict:
-    """Run every micro-benchmark; keep the best of ``repeats`` rounds."""
-    engine = max((bench_engine() for _ in range(repeats)), key=lambda r: r["events_per_sec"])
-    rdma = max((bench_rdma() for _ in range(repeats)), key=lambda r: r["verbs_per_sec"])
-    cachesim = max(
-        (bench_cachesim() for _ in range(repeats)),
-        key=lambda r: r["accesses_per_sec"],
-    )
+    """Run every micro-benchmark pair; keep the best of ``repeats`` rounds."""
+    engine_scalar = _best(
+        [bench_engine(batch=False) for _ in range(repeats)], "events_per_sec")
+    engine_storm = _best(
+        [bench_engine(batch=True) for _ in range(repeats)], "events_per_sec")
+    rdma_scalar = _best(
+        [bench_rdma() for _ in range(repeats)], "verbs_per_sec")
+    rdma_burst = _best(
+        [bench_rdma(burst=64) for _ in range(repeats)], "verbs_per_sec")
+
+    cachesim: Dict[str, Dict] = {}
+    for name, config in CACHESIM_CONFIGS.items():
+        cachesim[name] = {
+            "config": dict(config),
+            "scalar": _round_rates(_best(
+                [bench_cachesim(vectorized=False, **config)
+                 for _ in range(repeats)],
+                "accesses_per_sec")),
+            "vectorized": _round_rates(_best(
+                [bench_cachesim(vectorized=True, **config)
+                 for _ in range(repeats)],
+                "accesses_per_sec")),
+        }
+
+    # Headline cachesim number: the fastest vectorized regime (the substrate's
+    # peak replay rate); its scalar counterpart rides along for the speedup.
+    peak_name = max(
+        cachesim, key=lambda n: cachesim[n]["vectorized"]["accesses_per_sec"])
+    peak = cachesim[peak_name]
+
     return {
-        "schema": 1,
-        "generated_utc": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "schema": 2,
+        "generated_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
-        "engine": {k: round(v, 1) if isinstance(v, float) else v for k, v in engine.items()},
-        "rdma": {k: round(v, 1) if isinstance(v, float) else v for k, v in rdma.items()},
-        "cachesim": {
-            k: round(v, 4) if k in ("elapsed_s", "hit_rate") else
-            (round(v, 1) if isinstance(v, float) else v)
-            for k, v in cachesim.items()
+        "engine": {
+            "scalar": _round_rates(engine_scalar),
+            "storm": _round_rates(engine_storm),
         },
+        "rdma": {
+            "scalar": _round_rates(rdma_scalar),
+            "burst": _round_rates(rdma_burst),
+        },
+        "cachesim": cachesim,
         "headline": {
-            "engine_events_per_sec": round(engine["events_per_sec"], 1),
-            "rdma_verbs_per_sec": round(rdma["verbs_per_sec"], 1),
-            "cachesim_accesses_per_sec": round(cachesim["accesses_per_sec"], 1),
+            "engine_events_per_sec": round(engine_storm["events_per_sec"], 1),
+            "engine_scalar_events_per_sec": round(
+                engine_scalar["events_per_sec"], 1),
+            "rdma_verbs_per_sec": round(rdma_burst["verbs_per_sec"], 1),
+            "rdma_scalar_verbs_per_sec": round(
+                rdma_scalar["verbs_per_sec"], 1),
+            "cachesim_accesses_per_sec":
+                peak["vectorized"]["accesses_per_sec"],
+            "cachesim_scalar_accesses_per_sec":
+                peak["scalar"]["accesses_per_sec"],
+            "cachesim_peak_config": peak_name,
         },
     }
 
 
+def _load_report(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _carry_history(fresh: Dict, previous: Optional[Dict]) -> Dict:
+    """Attach the bounded run history: prior headline rows, newest first."""
+    history: List[Dict] = []
+    if previous is not None:
+        if previous.get("schema", 1) >= 2:
+            if "headline" in previous:
+                history.append({
+                    "generated_utc": previous.get("generated_utc"),
+                    "headline": previous["headline"],
+                })
+            history.extend(previous.get("history", []))
+        elif "headline" in previous:  # schema-1 file: keep its one row
+            history.append({
+                "generated_utc": previous.get("generated_utc"),
+                "headline": previous["headline"],
+            })
+    fresh["history"] = history[:HISTORY_LIMIT]
+    return fresh
+
+
+def check(baseline: Dict, fresh: Dict, threshold: float) -> List[str]:
+    """Headline metrics of ``fresh`` that regressed > ``threshold`` vs
+    ``baseline``; empty list means the gate passes."""
+    failures = []
+    base_head = baseline.get("headline", {})
+    fresh_head = fresh.get("headline", {})
+    for metric in CHECKED_METRICS:
+        base = base_head.get(metric)
+        now = fresh_head.get(metric)
+        if not base or now is None:
+            continue  # metric absent (older schema) — nothing to gate on
+        if now < base * (1.0 - threshold):
+            failures.append(
+                f"{metric}: {now:,.0f}/s is {1 - now / base:.0%} below the "
+                f"committed {base:,.0f}/s (threshold {threshold:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    output = args[0] if args else DEFAULT_OUTPUT
-    report = run()
-    with open(output, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.meta",
+        description="Benchmark the simulation substrate itself.",
+    )
+    parser.add_argument("output", nargs="?", default=DEFAULT_OUTPUT,
+                        help=f"report path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="rounds per benchmark, best kept (default 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="don't rewrite the report; fail if this run "
+                             "regresses the committed headline by more than "
+                             "REPRO_PERF_THRESHOLD (default "
+                             f"{DEFAULT_THRESHOLD:.0%})")
+    args = parser.parse_args(argv)
+
+    previous = _load_report(args.output)
+    report = run(repeats=args.repeats)
+
     h = report["headline"]
     print(
-        f"engine: {h['engine_events_per_sec']:,.0f} events/s | "
-        f"rdma: {h['rdma_verbs_per_sec']:,.0f} verbs/s | "
-        f"cachesim: {h['cachesim_accesses_per_sec']:,.0f} accesses/s"
+        f"engine: {h['engine_events_per_sec']:,.0f} events/s storm "
+        f"({h['engine_scalar_events_per_sec']:,.0f} scalar) | "
+        f"rdma: {h['rdma_verbs_per_sec']:,.0f} verbs/s burst "
+        f"({h['rdma_scalar_verbs_per_sec']:,.0f} scalar) | "
+        f"cachesim[{h['cachesim_peak_config']}]: "
+        f"{h['cachesim_accesses_per_sec']:,.0f} accesses/s vectorized "
+        f"({h['cachesim_scalar_accesses_per_sec']:,.0f} scalar)"
     )
-    print(f"wrote {output}")
+
+    if args.check:
+        if previous is None:
+            print(f"no committed report at {args.output}; nothing to check")
+            return 0
+        threshold = float(
+            os.environ.get("REPRO_PERF_THRESHOLD", DEFAULT_THRESHOLD))
+        failures = check(previous, report, threshold)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}")
+        if failures:
+            return 1
+        print(f"perf check passed (threshold {threshold:.0%})")
+        return 0
+
+    report = _carry_history(report, previous)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
     return 0
 
 

@@ -11,10 +11,12 @@ cached sweep results.  This module applies it to the benchmark suite:
 - :class:`ResultCache` — a JSON file per completed job, keyed by the SHA-256
   of ``(experiment, params, seed, REPRO_SCALE)``.  Re-running an unchanged
   grid simulates nothing.
-- :class:`ParallelRunner` — shards jobs across a ``ProcessPoolExecutor``
-  (spawn context, so workers never inherit interpreter state) and merges
-  results **in submission order**, making parallel output byte-identical to
-  a serial run of the same jobs.
+- :class:`ParallelRunner` — serves cache hits, hands the misses to a
+  pluggable dispatcher (``repro.bench.dispatch``; the default is a
+  spawn-context ``ProcessPoolExecutor``, so workers never inherit
+  interpreter state, and ``REPRO_DISPATCHER=file:<dir>`` swaps in the
+  multi-host file queue), and merges results **in submission order**, making
+  parallel output byte-identical to a serial run of the same jobs.
 
 Jobs run with stdout captured, so experiment tables print exactly once, in
 order, from the parent process.  The runner counts how many jobs were
@@ -41,14 +43,13 @@ import io
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from contextlib import redirect_stdout
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.observer import Observability, activate, deactivate
+from . import dispatch as _dispatch
 from .scale import scale_name
 
 #: Default cache directory, relative to the current working directory.
@@ -244,6 +245,12 @@ class ParallelRunner:
     job) runs inline in this process, which keeps small runs free of pool
     startup cost.  Either way results are identical — workers are pure
     functions of the job spec.
+
+    ``dispatcher`` overrides *where* misses execute: any object with a
+    ``dispatch(specs) -> [(raw, elapsed_s), ...]`` method
+    (``repro.bench.dispatch``).  When None, ``REPRO_DISPATCHER`` picks the
+    backend: ``local`` (default process pool) or ``file:<dir>`` (shared-
+    directory queue served by ``python -m repro.bench.worker``).
     """
 
     def __init__(
@@ -252,6 +259,7 @@ class ParallelRunner:
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
         trace_dir: Optional[str] = None,
+        dispatcher: Optional[Any] = None,
     ):
         """``trace_dir`` turns on per-job observability: each simulated job
         activates a fresh hub in its worker, writes
@@ -263,6 +271,10 @@ class ParallelRunner:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         self.cache = ResultCache(cache_dir) if use_cache else None
         self.trace_dir = trace_dir
+        self.dispatcher = (
+            dispatcher if dispatcher is not None
+            else _dispatch.from_env(self.workers)
+        )
         self.simulated = 0
         self.cached = 0
         self.elapsed_s = 0.0
@@ -313,17 +325,7 @@ class ParallelRunner:
                 }
                 for i in pending
             ]
-            if self.workers == 1 or len(pending) == 1:
-                raws = [self._timed(execute_job, spec) for spec in specs]
-            else:
-                # spawn: workers import modules fresh, never inheriting
-                # engine or rng state from the parent — determinism holds
-                # regardless of what the parent has already simulated.
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pending)),
-                    mp_context=get_context("spawn"),
-                ) as pool:
-                    raws = list(pool.map(self._timed_remote, specs))
+            raws = self.dispatcher.dispatch(specs)
             for i, (raw, elapsed) in zip(pending, raws):
                 self.simulated += 1
                 job = jobs[i]
@@ -354,20 +356,6 @@ class ParallelRunner:
         self.elapsed_s += time.perf_counter() - started
         return [o for o in outcomes if o is not None]
 
-    @staticmethod
-    def _timed(fn, spec):
-        t0 = time.perf_counter()
-        raw = fn(spec)
-        return raw, time.perf_counter() - t0
-
-    @staticmethod
-    def _timed_remote(spec):
-        # Runs inside the worker process (must be importable → staticmethod
-        # of a module-level class).
-        t0 = time.perf_counter()
-        raw = execute_job(spec)
-        return raw, time.perf_counter() - t0
-
     def summary(self) -> Dict[str, Any]:
         """Counters for the run: how much was simulated vs replayed."""
         return {
@@ -388,6 +376,7 @@ def run_grid(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     trace_dir: Optional[str] = None,
+    dispatcher: Optional[Any] = None,
 ) -> List[JobOutcome]:
     """Fan a parameter grid × seeds out across workers.
 
@@ -401,6 +390,6 @@ def run_grid(
     ]
     runner = ParallelRunner(
         workers=workers, cache_dir=cache_dir, use_cache=use_cache,
-        trace_dir=trace_dir,
+        trace_dir=trace_dir, dispatcher=dispatcher,
     )
     return runner.run(jobs)

@@ -1,0 +1,133 @@
+"""File-queue worker: claim jobs from a shared directory and execute them.
+
+Run one (or many, on any host that can see the queue directory) against the
+root a :class:`~repro.bench.dispatch.FileQueueDispatcher` is enqueuing into::
+
+    python -m repro.bench.worker /mnt/shared/queue
+    ssh host2 python -m repro.bench.worker /mnt/shared/queue
+
+A worker loops: pick a file from ``<root>/jobs/``, claim it by renaming it
+into ``<root>/claims/`` (rename is atomic — exactly one worker wins a given
+job), run :func:`repro.bench.parallel.execute_job` on the spec, and write the
+raw result into ``<root>/results/``.  Failures are reported as result files
+carrying an ``error`` key so the dispatcher can surface them instead of
+timing out.  ``--idle-exit`` makes the worker quit after a quiet period,
+which is how tests and one-shot SSH invocations avoid a daemon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import time
+import traceback
+import uuid
+from pathlib import Path
+from typing import List, Optional
+
+
+def _worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _write_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(f".tmp-{uuid.uuid4().hex[:8]}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def run_one(root: Path, worker: str) -> bool:
+    """Claim and execute a single job; False when the queue is empty."""
+    from .parallel import execute_job
+
+    jobs_dir = root / "jobs"
+    claims_dir = root / "claims"
+    results_dir = root / "results"
+    try:
+        candidates: List[str] = sorted(
+            name for name in os.listdir(jobs_dir)
+            if name.endswith(".json")
+        )
+    except FileNotFoundError:
+        return False
+    for name in candidates:
+        claim = claims_dir / f"{name[:-5]}.{worker}.json"
+        try:
+            os.rename(jobs_dir / name, claim)
+        except (FileNotFoundError, OSError):
+            continue  # another worker won the rename; try the next job
+        job_id = name[:-5]
+        result_path = results_dir / f"{job_id}.json"
+        try:
+            with open(claim, "r", encoding="utf-8") as fh:
+                spec = json.load(fh)
+            started = time.perf_counter()
+            raw = execute_job(spec)
+            _write_atomic(result_path, {
+                "raw": raw,
+                "elapsed_s": time.perf_counter() - started,
+                "worker": worker,
+            })
+        except Exception as exc:  # report, don't crash the worker loop
+            _write_atomic(result_path, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "worker": worker,
+            })
+        finally:
+            claim.unlink(missing_ok=True)
+        return True
+    return False
+
+
+def serve(
+    root: Path,
+    poll_s: float = 0.2,
+    idle_exit_s: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Worker main loop; returns the number of jobs executed."""
+    worker = _worker_id()
+    for d in ("jobs", "claims", "results"):
+        (root / d).mkdir(parents=True, exist_ok=True)
+    done = 0
+    last_work = time.monotonic()
+    while max_jobs is None or done < max_jobs:
+        if run_one(root, worker):
+            done += 1
+            last_work = time.monotonic()
+            continue
+        if idle_exit_s is not None and time.monotonic() - last_work > idle_exit_s:
+            break
+        time.sleep(poll_s)
+    return done
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.worker",
+        description="Execute jobs from a shared-directory benchmark queue.",
+    )
+    parser.add_argument("root", help="queue directory (same root as the dispatcher)")
+    parser.add_argument("--poll", type=float, default=0.2,
+                        help="seconds between empty-queue checks (default 0.2)")
+    parser.add_argument("--idle-exit", type=float, default=None, metavar="S",
+                        help="exit after S seconds with no work (default: run forever)")
+    parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after executing N jobs")
+    args = parser.parse_args(argv)
+    done = serve(
+        Path(args.root),
+        poll_s=args.poll,
+        idle_exit_s=args.idle_exit,
+        max_jobs=args.max_jobs,
+    )
+    print(f"worker {_worker_id()} executed {done} job(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,8 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.adaptive import ExpertWeights, bitmap_of
-from ..core.history import HISTORY_WRAP
 from ..core.policies import CachePolicy, Metadata, make_policy
+from . import vectorized
 
 
 class SampledAdaptiveCache:
@@ -89,11 +89,19 @@ class SampledAdaptiveCache:
             for p in self.policies
             if type(p).on_evict is not CachePolicy.on_evict
         )
-        # Eviction history: key -> (history_id, expert_bitmap), plus a FIFO
-        # of (history_id, key) for lazy pruning of expired entries.
-        self._history: Dict[object, Tuple[int, int]] = {}
+        # Eviction history: key -> (history_id << num_experts) | expert_bitmap
+        # packed into one int (no tuple allocation per eviction), plus a FIFO
+        # of keys for lazy pruning.  FIFO entries carry consecutive history
+        # ids by construction, so the id of the oldest entry is a single
+        # counter (``_history_base``) rather than stored per entry.  Unlike
+        # the DM tier's 48-bit on-wire counters, ids here are plain Python
+        # ints and never wrap.
+        self._history: Dict[object, int] = {}
         self._history_fifo: deque = deque()
         self._history_counter = 0
+        self._history_base = 0
+        self._hist_shift = len(self.policies)
+        self._hist_mask = (1 << self._hist_shift) - 1
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -155,13 +163,21 @@ class SampledAdaptiveCache:
     def access_many(self, keys) -> int:
         """Batched :meth:`access` over a request array; returns hits added.
 
-        Decodes a numpy key array once (``tolist`` — no per-element
-        ``int()`` boxing) and keeps the hit path free of instance-attribute
-        churn by binding everything hot into locals.  State transitions are
-        identical to calling ``access`` in a loop: same rng draws, same
-        eviction/history/regret sequence, bit-for-bit equal metrics.
+        Large integer numpy traces take the vectorized replay
+        (:mod:`repro.cachesim.vectorized`) when this cache's configuration
+        is eligible — columnar metadata, block-drawn rng, inlined regret
+        math — which is byte-identical to the scalar loop below: same rng
+        draws, same eviction/history/regret sequence, bit-for-bit equal
+        metrics and metadata.  ``REPRO_VECTORIZE=0`` forces the scalar loop.
+
+        The scalar path decodes the key array once (``tolist`` — no
+        per-element ``int()`` boxing) and keeps the hit path free of
+        instance-attribute churn by binding everything hot into locals.
+        State transitions are identical to calling ``access`` in a loop.
         """
         if isinstance(keys, np.ndarray):
+            if keys.size >= vectorized.MIN_BATCH and vectorized.eligible(self, keys):
+                return vectorized.replay(self, keys)
             seq = keys.tolist()
         else:
             seq = [int(k) for k in keys]
@@ -223,12 +239,17 @@ class SampledAdaptiveCache:
     # -- eviction + history ---------------------------------------------------
 
     def _sample(self) -> List[object]:
-        n = len(self._keys)
-        k = min(self.sample_size, n)
-        if k == n:
-            return list(self._keys)
-        picks = self.rng.sample(range(n), k)
-        return [self._keys[i] for i in picks]
+        keys = self._keys
+        n = len(keys)
+        if n <= self.sample_size:
+            return list(keys)
+        # With-replacement float sampling, matching how a DM client samples
+        # slots (independent draws; collisions are possible and harmless).
+        # Exactly ``sample_size`` uniform draws per eviction — a *fixed*
+        # draw count — which is what lets the vectorized replay pre-draw
+        # random blocks and stay on the identical rng stream.
+        rnd = self.rng.random
+        return [keys[min(int(rnd() * n), n - 1)] for _ in range(self.sample_size)]
 
     def _evict(self, now: int) -> None:
         sampled = self._sample()
@@ -258,23 +279,28 @@ class SampledAdaptiveCache:
         self.evictions += 1
 
     def _record_history(self, key, bitmap: int) -> None:
-        # The modular age arithmetic of history.is_expired is inlined here
-        # (and in _collect_regret): this runs once per eviction, and the
-        # trace-replay tier does hundreds of thousands of evictions/sec.
-        history_id = self._history_counter % HISTORY_WRAP
-        counter = (self._history_counter + 1) % HISTORY_WRAP
-        self._history_counter += 1
+        # The age arithmetic of history.is_expired is inlined here (and in
+        # _collect_regret): this runs once per eviction, and the trace-replay
+        # tier does hundreds of thousands of evictions/sec.
+        history_id = self._history_counter
+        self._history_counter = counter = history_id + 1
         history = self._history
-        history[key] = (history_id, bitmap)
+        history[key] = (history_id << self._hist_shift) | bitmap
         fifo = self._history_fifo
-        fifo.append((history_id, key))
+        fifo.append(key)
         # Lazy pruning keeps the dict bounded at ~history_size entries.
+        # ``_history_base`` is the id of fifo[0]; ids are consecutive.
         size = self.history_size
-        while fifo and (counter - fifo[0][0]) % HISTORY_WRAP > size:
-            old_id, old_key = fifo.popleft()
-            entry = history.get(old_key)
-            if entry is not None and entry[0] == old_id:
-                del history[old_key]
+        base = self._history_base
+        if counter - base > size:
+            shift = self._hist_shift
+            while counter - base > size:
+                old_key = fifo.popleft()
+                entry = history.get(old_key)
+                if entry is not None and entry >> shift == base:
+                    del history[old_key]
+                base += 1
+            self._history_base = base
 
     def _collect_regret(self, key) -> None:
         if not self.adaptive:
@@ -282,10 +308,8 @@ class SampledAdaptiveCache:
         entry = self._history.get(key)
         if entry is None:
             return
-        history_id, bitmap = entry
-        counter = self._history_counter % HISTORY_WRAP
-        age = (counter - history_id) % HISTORY_WRAP
+        age = self._history_counter - (entry >> self._hist_shift)
         if age > self.history_size:
             return
         self.regrets += 1
-        self.weights.apply_regret(bitmap, age)
+        self.weights.apply_regret(entry & self._hist_mask, age)

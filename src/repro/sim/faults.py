@@ -245,6 +245,11 @@ class FaultInjector:
         ]
         self._active_from = min((s for s, _ in windows), default=_INF)
         self._active_until = max((e for _, e in windows), default=-_INF)
+        if not plan.empty:
+            # Fault outcomes are consulted per verb at resume time; keep
+            # the whole run on the scalar event loop (an inert injector
+            # leaves storm mode available).
+            self.engine.disable_batch("faults")
         if self.tracer is not None and not plan.empty:
             self._annotate_plan(plan)
 

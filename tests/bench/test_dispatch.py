@@ -1,0 +1,156 @@
+"""Tests for the pluggable dispatchers and the file-queue worker."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.bench import worker
+from repro.bench.dispatch import (
+    DispatchError,
+    FileQueueDispatcher,
+    LocalPoolDispatcher,
+    from_env,
+)
+from repro.bench.parallel import ExperimentJob, ParallelRunner
+
+#: A cheap, importable, deterministic job target.
+SPEC = {"fn": "repro.bench.scale:scale_name", "params": {}, "seed": None,
+        "experiment": "probe"}
+
+
+def _specs(n):
+    return [dict(SPEC, experiment=f"probe{i}") for i in range(n)]
+
+
+# -- LocalPoolDispatcher -----------------------------------------------------
+
+
+def test_local_dispatcher_runs_inline_with_one_worker():
+    results = LocalPoolDispatcher(1).dispatch(_specs(3))
+    assert [raw["result"] for raw, _ in results] == ["quick"] * 3
+    assert all(elapsed >= 0 for _, elapsed in results)
+
+
+def test_local_dispatcher_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        LocalPoolDispatcher(0)
+
+
+# -- FileQueueDispatcher + worker --------------------------------------------
+
+
+def _with_worker(root, fn, **worker_kwargs):
+    """Run ``fn()`` while a worker thread drains the queue at ``root``."""
+    kwargs = {"poll_s": 0.02, "idle_exit_s": 1.0}
+    kwargs.update(worker_kwargs)
+    thread = threading.Thread(
+        target=worker.serve, args=(Path(root),), kwargs=kwargs)
+    thread.start()
+    try:
+        return fn()
+    finally:
+        thread.join()
+
+
+def test_file_queue_round_trip(tmp_path):
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.02, timeout_s=30)
+    results = _with_worker(
+        tmp_path, lambda: dispatcher.dispatch(_specs(4)))
+    assert [raw["result"] for raw, _ in results] == ["quick"] * 4
+    # The queue drains completely: no leftover job/claim/result files.
+    for sub in ("jobs", "claims", "results"):
+        assert list((tmp_path / sub).glob("*.json")) == []
+
+
+def test_file_queue_propagates_worker_errors(tmp_path):
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.02, timeout_s=30)
+    bad = [{"fn": "repro.bench.scale:scale_name",
+            "params": {"no_such_kw": 1}, "seed": None, "experiment": "bad"}]
+    with pytest.raises(DispatchError, match="TypeError"):
+        _with_worker(tmp_path, lambda: dispatcher.dispatch(bad))
+
+
+def test_file_queue_times_out_without_workers(tmp_path):
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.01, timeout_s=0.1)
+    with pytest.raises(DispatchError, match="timed out"):
+        dispatcher.dispatch(_specs(1))
+
+
+def test_worker_max_jobs_and_exit_count(tmp_path):
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.02, timeout_s=30)
+    for d in ("jobs", "claims", "results"):
+        (tmp_path / d).mkdir()
+    # Enqueue by hand so we can count without a dispatcher thread.
+    for i, spec in enumerate(_specs(3)):
+        (tmp_path / "jobs" / f"job-{i:06d}.json").write_text(json.dumps(spec))
+    done = worker.serve(tmp_path, poll_s=0.01, max_jobs=2)
+    assert done == 2
+    assert len(list((tmp_path / "results").glob("*.json"))) == 2
+    assert len(list((tmp_path / "jobs").glob("*.json"))) == 1
+
+
+def test_worker_cli_main(tmp_path, capsys):
+    assert worker.main([str(tmp_path), "--idle-exit", "0.05",
+                        "--poll", "0.01"]) == 0
+    assert "executed 0 job(s)" in capsys.readouterr().out
+
+
+# -- selection ---------------------------------------------------------------
+
+
+def test_from_env_defaults_to_local(monkeypatch):
+    monkeypatch.delenv("REPRO_DISPATCHER", raising=False)
+    assert isinstance(from_env(2), LocalPoolDispatcher)
+    monkeypatch.setenv("REPRO_DISPATCHER", "local")
+    assert isinstance(from_env(2), LocalPoolDispatcher)
+
+
+def test_from_env_builds_file_queue(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_DISPATCHER", f"file:{tmp_path}")
+    dispatcher = from_env(2)
+    assert isinstance(dispatcher, FileQueueDispatcher)
+    assert dispatcher.root == tmp_path
+
+
+def test_from_env_rejects_unknown(monkeypatch):
+    monkeypatch.setenv("REPRO_DISPATCHER", "carrier-pigeon")
+    with pytest.raises(ValueError):
+        from_env(2)
+
+
+# -- ParallelRunner integration ----------------------------------------------
+
+
+def test_runner_uses_injected_dispatcher(tmp_path):
+    calls = []
+
+    class Recorder:
+        def dispatch(self, specs):
+            calls.append(len(specs))
+            return LocalPoolDispatcher(1).dispatch(specs)
+
+    runner = ParallelRunner(
+        workers=1, cache_dir=str(tmp_path / "cache"), dispatcher=Recorder())
+    jobs = [ExperimentJob(experiment="probe",
+                          fn="repro.bench.scale:scale_name")]
+    outcomes = runner.run(jobs)
+    assert calls == [1]
+    assert outcomes[0].result == "quick"
+    # Second run: served from cache, dispatcher never consulted again.
+    runner.run(jobs)
+    assert calls == [1]
+
+
+def test_runner_through_file_queue(tmp_path):
+    dispatcher = FileQueueDispatcher(
+        str(tmp_path / "queue"), poll_s=0.02, timeout_s=30)
+    runner = ParallelRunner(
+        workers=1, cache_dir=str(tmp_path / "cache"), dispatcher=dispatcher)
+    jobs = [ExperimentJob(experiment=f"probe{i}",
+                          fn="repro.bench.scale:scale_name")
+            for i in range(3)]
+    outcomes = _with_worker(tmp_path / "queue", lambda: runner.run(jobs))
+    assert [o.result for o in outcomes] == ["quick"] * 3
+    assert runner.summary()["simulated"] == 3

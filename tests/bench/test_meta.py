@@ -2,7 +2,28 @@
 
 import json
 
+import pytest
+
 from repro.bench import meta
+
+
+def _shrink(monkeypatch):
+    """Point every bench at a tiny workload so report tests stay fast."""
+    engine_fn, rdma_fn, cache_fn = (
+        meta.bench_engine,
+        meta.bench_rdma,
+        meta.bench_cachesim,
+    )
+    monkeypatch.setattr(
+        meta, "bench_engine",
+        lambda batch=True: engine_fn(4, 50, batch=batch))
+    monkeypatch.setattr(
+        meta, "bench_rdma",
+        lambda burst=0: rdma_fn(2, 100, burst=burst))
+    monkeypatch.setattr(
+        meta, "bench_cachesim",
+        lambda vectorized=True, **_cfg: cache_fn(
+            5000, 512, 128, vectorized=vectorized))
 
 
 def test_bench_engine_counts_every_event():
@@ -11,8 +32,20 @@ def test_bench_engine_counts_every_event():
     assert result["events_per_sec"] > 0
 
 
+def test_bench_engine_scalar_and_storm_agree_on_counts():
+    scalar = meta.bench_engine(4, 50, batch=False)
+    storm = meta.bench_engine(4, 50, batch=True)
+    assert scalar["events"] == storm["events"]
+
+
 def test_bench_rdma_serves_all_verbs():
     result = meta.bench_rdma(clients=2, verbs_per_client=100)
+    assert result["verbs"] == 200
+    assert result["verbs_per_sec"] > 0
+
+
+def test_bench_rdma_burst_serves_all_verbs():
+    result = meta.bench_rdma(clients=2, verbs_per_client=100, burst=64)
     assert result["verbs"] == 200
     assert result["verbs_per_sec"] > 0
 
@@ -24,21 +57,96 @@ def test_bench_cachesim_replays_trace():
     assert result["evictions"] > 0
 
 
-def test_main_writes_report(tmp_path, capsys, monkeypatch):
+def test_bench_cachesim_paths_agree_on_results():
+    scalar = meta.bench_cachesim(20000, 512, 128, vectorized=False)
+    vec = meta.bench_cachesim(20000, 512, 128, vectorized=True)
+    assert scalar["hit_rate"] == vec["hit_rate"]
+    assert scalar["evictions"] == vec["evictions"]
+
+
+def test_main_writes_schema2_report(tmp_path, capsys, monkeypatch):
     out = tmp_path / "speed.json"
-    # Shrink the workloads so the smoke test stays fast.
-    engine_fn, rdma_fn, cache_fn = (
-        meta.bench_engine,
-        meta.bench_rdma,
-        meta.bench_cachesim,
-    )
-    monkeypatch.setattr(meta, "bench_engine", lambda: engine_fn(4, 50))
-    monkeypatch.setattr(meta, "bench_rdma", lambda: rdma_fn(2, 100))
-    monkeypatch.setattr(meta, "bench_cachesim", lambda: cache_fn(5000, 512, 128))
-    assert meta.main([str(out)]) == 0
+    _shrink(monkeypatch)
+    assert meta.main([str(out), "--repeats", "1"]) == 0
     report = json.loads(out.read_text())
-    assert report["schema"] == 1
-    assert report["headline"]["engine_events_per_sec"] > 0
-    assert report["headline"]["cachesim_accesses_per_sec"] > 0
-    assert report["headline"]["rdma_verbs_per_sec"] > 0
+    assert report["schema"] == 2
+    for metric in meta.CHECKED_METRICS:
+        assert report["headline"][metric] > 0
+    assert report["headline"]["cachesim_peak_config"] in meta.CACHESIM_CONFIGS
+    assert report["engine"]["scalar"]["events_per_sec"] > 0
+    assert report["engine"]["storm"]["events_per_sec"] > 0
+    for name in meta.CACHESIM_CONFIGS:
+        assert report["cachesim"][name]["scalar"]["accesses_per_sec"] > 0
+        assert report["cachesim"][name]["vectorized"]["accesses_per_sec"] > 0
+    assert report["history"] == []
     assert "wrote" in capsys.readouterr().out
+
+
+def test_history_is_carried_and_bounded(tmp_path, monkeypatch):
+    out = tmp_path / "speed.json"
+    _shrink(monkeypatch)
+    assert meta.main([str(out), "--repeats", "1"]) == 0
+    assert meta.main([str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    assert len(report["history"]) == 1
+    assert report["history"][0]["headline"]["engine_events_per_sec"] > 0
+    # A schema-1 file contributes its single headline row.
+    legacy = {"schema": 1, "generated_utc": "2026-01-01T00:00:00Z",
+              "headline": {"engine_events_per_sec": 1.0}}
+    carried = meta._carry_history({"headline": {}}, legacy)
+    assert carried["history"][0]["headline"]["engine_events_per_sec"] == 1.0
+    # The bound holds even with an over-long prior history.
+    bloated = {"schema": 2, "headline": {}, "generated_utc": "x",
+               "history": [{"generated_utc": str(i), "headline": {}}
+                           for i in range(meta.HISTORY_LIMIT + 5)]}
+    carried = meta._carry_history({"headline": {}}, bloated)
+    assert len(carried["history"]) == meta.HISTORY_LIMIT
+
+
+def test_check_passes_within_threshold():
+    baseline = {"headline": {m: 100.0 for m in meta.CHECKED_METRICS}}
+    fresh = {"headline": {m: 80.0 for m in meta.CHECKED_METRICS}}
+    assert meta.check(baseline, fresh, threshold=0.30) == []
+
+
+def test_check_flags_regressions_beyond_threshold():
+    baseline = {"headline": {m: 100.0 for m in meta.CHECKED_METRICS}}
+    fresh = {"headline": {m: 60.0 for m in meta.CHECKED_METRICS}}
+    failures = meta.check(baseline, fresh, threshold=0.30)
+    assert len(failures) == len(meta.CHECKED_METRICS)
+    assert "engine_events_per_sec" in failures[0]
+
+
+def test_check_ignores_missing_metrics():
+    baseline = {"headline": {}}
+    fresh = {"headline": {m: 1.0 for m in meta.CHECKED_METRICS}}
+    assert meta.check(baseline, fresh, threshold=0.30) == []
+
+
+def test_main_check_mode_gates_on_committed_file(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "speed.json"
+    _shrink(monkeypatch)
+    # No committed file: check is a no-op pass.
+    assert meta.main([str(out), "--check", "--repeats", "1"]) == 0
+    assert "nothing to check" in capsys.readouterr().out
+    # Committed file with absurdly high numbers: check fails...
+    inflated = {"schema": 2,
+                "headline": {m: 1e15 for m in meta.CHECKED_METRICS}}
+    out.write_text(json.dumps(inflated))
+    assert meta.main([str(out), "--check", "--repeats", "1"]) == 1
+    assert "PERF REGRESSION" in capsys.readouterr().out
+    # ...unless the env threshold is loosened to 100%.
+    monkeypatch.setenv("REPRO_PERF_THRESHOLD", "1.0")
+    assert meta.main([str(out), "--check", "--repeats", "1"]) == 0
+    assert "perf check passed" in capsys.readouterr().out
+    # --check never rewrites the committed report.
+    assert json.loads(out.read_text()) == inflated
+
+
+def test_threshold_env_must_be_numeric(tmp_path, monkeypatch):
+    out = tmp_path / "speed.json"
+    out.write_text(json.dumps({"schema": 2, "headline": {}}))
+    _shrink(monkeypatch)
+    monkeypatch.setenv("REPRO_PERF_THRESHOLD", "not-a-number")
+    with pytest.raises(ValueError):
+        meta.main([str(out), "--check", "--repeats", "1"])

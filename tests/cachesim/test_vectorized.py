@@ -1,0 +1,207 @@
+"""Byte-identity of the vectorized cachesim replay vs the scalar loop.
+
+The vectorized path (``repro.cachesim.vectorized``) is an optimization, not
+a model: for every eligible configuration it must leave the cache in a state
+indistinguishable from the scalar per-access loop — same counters, same
+store (including dict insertion order), same packed history, same expert
+weights, and the *same RNG stream position*, so a scalar access issued after
+a vectorized batch continues the exact sequence.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim import SampledAdaptiveCache
+from repro.cachesim import vectorized
+
+
+def snapshot(cache):
+    """Every observable (and replay-relevant internal) piece of state."""
+    return {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "evictions": cache.evictions,
+        "tick": cache._tick,
+        "store": [
+            (k, m.freq, m.last_ts, m.insert_ts, m.size, m.cost)
+            for k, m in cache._store.items()
+        ],
+        "keys": list(cache._keys),
+        "key_pos": dict(cache._key_pos),
+        "history": dict(cache._history),
+        "history_fifo": list(cache._history_fifo),
+        "history_base": cache._history_base,
+        "history_counter": cache._history_counter,
+        "weights": list(cache.weights.weights),
+        "pending": list(cache.weights._pending),
+        "pending_count": cache.weights._pending_count,
+        "rng": cache.rng.getstate(),
+    }
+
+
+def replay_both(trace, splits=(), **config):
+    """Scalar-replay and vectorized-replay the same trace; return snapshots.
+
+    ``splits`` cuts the trace into consecutive batches, exercising state
+    carry-over between vectorized calls.
+    """
+    scalar = SampledAdaptiveCache(**config)
+    for key in trace:
+        scalar.access(int(key))
+
+    vec = SampledAdaptiveCache(**config)
+    arr = np.asarray(trace, dtype=np.int64)
+    bounds = [0, *sorted(splits), len(trace)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        batch = arr[lo:hi]
+        if batch.size == 0:
+            continue
+        assert vectorized.eligible(vec, batch), "config must stay eligible"
+        vectorized.replay(vec, batch)
+    return snapshot(scalar), snapshot(vec)
+
+
+POLICY_SETS = [("lru", "lfu"), ("lru",), ("lfu",), ("fifo",), ("mru",),
+               ("mru", "fifo")]
+
+
+@pytest.mark.parametrize("policies", POLICY_SETS)
+def test_identity_on_zipf_like_trace(policies):
+    rng = random.Random(7)
+    trace = [int(rng.paretovariate(1.2)) % 300 for _ in range(4000)]
+    scalar, vec = replay_both(
+        trace, capacity=64, policies=policies, seed=3)
+    assert scalar == vec
+
+
+def test_identity_across_batch_boundaries():
+    rng = random.Random(1)
+    trace = [rng.randrange(200) for _ in range(3000)]
+    scalar, vec = replay_both(
+        trace, splits=(500, 1999), capacity=48, policies=("lru", "lfu"),
+        seed=9)
+    assert scalar == vec
+
+
+def test_identity_tiny_store_never_draws():
+    # capacity <= sample_size: eviction scans the whole store, no RNG draws.
+    trace = [i % 20 for i in range(400)]
+    scalar, vec = replay_both(
+        trace, capacity=8, policies=("lru", "lfu"), sample_size=16, seed=0)
+    assert scalar == vec
+
+
+def test_scalar_access_continues_after_vectorized_batch():
+    config = dict(capacity=32, policies=("lru", "lfu"), seed=5)
+    trace = [random.Random(2).randrange(100) for _ in range(2000)]
+    trace = [v for v in trace]
+    scalar = SampledAdaptiveCache(**config)
+    for key in trace:
+        scalar.access(key)
+    for key in (1, 2, 3, 99, 1):
+        scalar.access(key)
+
+    vec = SampledAdaptiveCache(**config)
+    vectorized.replay(vec, np.asarray(trace, dtype=np.int64))
+    for key in (1, 2, 3, 99, 1):
+        vec.access(key)  # scalar tail must continue the exact RNG stream
+    assert snapshot(scalar) == snapshot(vec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=120),
+                   min_size=1, max_size=600),
+    capacity=st.integers(min_value=2, max_value=40),
+    sample_size=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=50),
+    policies=st.sampled_from(POLICY_SETS),
+)
+def test_identity_property(trace, capacity, sample_size, seed, policies):
+    scalar, vec = replay_both(
+        trace, capacity=capacity, policies=policies,
+        sample_size=sample_size, seed=seed)
+    assert scalar == vec
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=60),
+                   min_size=2, max_size=400),
+    cut=st.integers(min_value=1, max_value=399),
+    seed=st.integers(min_value=0, max_value=20),
+)
+def test_identity_property_with_split(trace, cut, seed):
+    scalar, vec = replay_both(
+        trace, splits=(min(cut, len(trace) - 1),), capacity=16,
+        policies=("lru", "lfu"), seed=seed)
+    assert scalar == vec
+
+
+# -- dispatch & eligibility gating -------------------------------------------
+
+
+def test_access_many_uses_vectorized_for_large_arrays(monkeypatch):
+    calls = []
+    original = vectorized.replay
+
+    def spy(cache, keys):
+        calls.append(len(keys))
+        return original(cache, keys)
+
+    monkeypatch.setattr(vectorized, "replay", spy)
+    cache = SampledAdaptiveCache(64, policies=("lru", "lfu"), seed=0)
+    trace = np.arange(vectorized.MIN_BATCH, dtype=np.int64) % 200
+    cache.access_many(trace)
+    assert calls == [vectorized.MIN_BATCH]
+
+
+def test_access_many_small_batches_stay_scalar(monkeypatch):
+    monkeypatch.setattr(
+        vectorized, "replay",
+        lambda *a: pytest.fail("scalar path expected"))
+    cache = SampledAdaptiveCache(64, policies=("lru", "lfu"), seed=0)
+    cache.access_many(np.arange(vectorized.MIN_BATCH - 1, dtype=np.int64))
+    assert cache.hits + cache.misses == vectorized.MIN_BATCH - 1
+
+
+def test_env_switch_forces_scalar(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    cache = SampledAdaptiveCache(64, policies=("lru", "lfu"), seed=0)
+    keys = np.arange(2048, dtype=np.int64) % 100
+    assert not vectorized.eligible(cache, keys)
+    monkeypatch.setattr(
+        vectorized, "replay",
+        lambda *a: pytest.fail("REPRO_VECTORIZE=0 must force scalar"))
+    cache.access_many(keys)
+    assert cache.hits + cache.misses == 2048
+
+
+def test_unsupported_policy_not_eligible():
+    cache = SampledAdaptiveCache(
+        64, policies=("lru", "size"), seed=0)  # size-based: not vectorized
+    keys = np.arange(2048, dtype=np.int64)
+    assert not vectorized.eligible(cache, keys)
+
+
+def test_huge_keys_not_eligible():
+    cache = SampledAdaptiveCache(64, policies=("lru", "lfu"), seed=0)
+    keys = np.array([vectorized.MAX_KEY + 1] * 2048, dtype=np.int64)
+    assert not vectorized.eligible(cache, keys)
+
+
+def test_float_trace_not_eligible():
+    cache = SampledAdaptiveCache(64, policies=("lru", "lfu"), seed=0)
+    assert not vectorized.eligible(cache, np.ones(2048, dtype=np.float64))
+
+
+def test_vectorized_result_matches_hit_rate_contract():
+    cache = SampledAdaptiveCache(128, policies=("lru", "lfu"), seed=0)
+    keys = (np.arange(4096, dtype=np.int64) * 17) % 512
+    vectorized.replay(cache, keys)
+    assert cache.hits + cache.misses == 4096
+    assert 0.0 <= cache.hit_rate() <= 1.0

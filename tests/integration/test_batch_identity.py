@@ -1,0 +1,41 @@
+"""End-to-end identity: batched fast paths vs ``REPRO_VECTORIZE=0``.
+
+The storm-mode engine and the vectorized cachesim replay are optimizations,
+so whole experiments must produce byte-identical results with the fast
+paths enabled (default) and force-disabled.  Two representative
+experiments: fig02 (timed tier, verb storms through the full cluster) and
+the extra fault-recovery experiment (fault plans must pin the engine to the
+scalar loop anyway — disabling batching twice must change nothing).
+"""
+
+import json
+
+from repro.bench.experiments import extra_fault_recovery, fig02_caching_structure_cost
+from repro.bench.parallel import jsonify
+
+
+def canonical(result) -> str:
+    return json.dumps(jsonify(result), sort_keys=True)
+
+
+def run_both(monkeypatch, run, **params):
+    monkeypatch.delenv("REPRO_VECTORIZE", raising=False)
+    fast = canonical(run(**params))
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    scalar = canonical(run(**params))
+    return fast, scalar
+
+
+def test_fig02_identical_with_and_without_batching(monkeypatch):
+    fast, scalar = run_both(
+        monkeypatch, fig02_caching_structure_cost.run,
+        n_keys=500, client_counts=(1, 4), window_us=2000.0)
+    assert fast == scalar
+
+
+def test_fault_recovery_identical_with_and_without_batching(monkeypatch):
+    fast, scalar = run_both(
+        monkeypatch, extra_fault_recovery.run,
+        n_keys=500, num_clients=2, phase_us=5000.0, window_us=1000.0,
+        requests_per_client=800)
+    assert fast == scalar

@@ -1,0 +1,216 @@
+"""The engine's uniform-delay storm fast path vs the scalar event loop.
+
+Storm mode is a pure optimization: whenever it engages, observable behavior
+(timestamps seen by processes, completion order, final time, kill/until
+semantics) must be identical to the scalar pop-dispatch loop.  These tests
+run the same workload on a storm-enabled engine and on one pinned scalar
+via ``disable_batch`` and compare traces.
+"""
+
+import pytest
+
+from repro.sim import Engine, Timeout
+from repro.sim.engine import Event, SimulationError
+
+
+def run_workload(engine, build):
+    """Spawn ``build(engine, trace)``'s processes; run; return the trace."""
+    trace = []
+    build(engine, trace)
+    engine.run()
+    return trace
+
+
+def both_engines(build, until=None):
+    storm_engine = Engine()
+    scalar_engine = Engine()
+    scalar_engine.disable_batch("test")
+    traces = []
+    for engine in (storm_engine, scalar_engine):
+        trace = []
+        build(engine, trace)
+        engine.run(until=until)
+        traces.append((trace, engine.now))
+    return traces[0], traces[1]
+
+
+def uniform_ping(engine, trace, processes=10, events=50, delay=1.0):
+    pause = Timeout(delay)
+
+    def ping(pid):
+        for i in range(events):
+            yield pause
+            trace.append((pid, i, engine.now))
+
+    for pid in range(processes):
+        engine.spawn(ping(pid))
+
+
+def test_storm_matches_scalar_on_uniform_timeouts():
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        uniform_ping)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_storm_respects_until_boundary():
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        uniform_ping, until=17.0)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end == 17.0
+
+
+def test_storm_flushes_on_mixed_delay():
+    def build(engine, trace):
+        pause = Timeout(1.0)
+        slow = Timeout(2.5)
+
+        def ping(pid):
+            for i in range(40):
+                yield (slow if (pid + i) % 7 == 0 else pause)
+                trace.append((pid, i, engine.now))
+
+        for pid in range(8):
+            engine.spawn(ping(pid))
+
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_storm_flushes_on_event_wait():
+    def build(engine, trace):
+        gate = Event(engine)
+        pause = Timeout(1.0)
+
+        def waiter():
+            value = yield gate
+            trace.append(("gate", value, engine.now))
+
+        def ping(pid):
+            for i in range(30):
+                yield pause
+                trace.append((pid, i, engine.now))
+            if pid == 0:
+                gate.trigger("open")
+
+        engine.spawn(waiter())
+        for pid in range(6):
+            engine.spawn(ping(pid))
+
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_storm_flushes_on_call_later():
+    def build(engine, trace):
+        pause = Timeout(1.0)
+
+        def ping(pid):
+            for i in range(30):
+                yield pause
+                if pid == 2 and i == 10:
+                    engine.call_later(
+                        0.5, lambda: trace.append(("cb", engine.now)))
+                trace.append((pid, i, engine.now))
+
+        for pid in range(6):
+            engine.spawn(ping(pid))
+
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_kill_during_storm():
+    def build(engine, trace):
+        pause = Timeout(1.0)
+        victims = []
+
+        def ping(pid):
+            for i in range(40):
+                yield pause
+                trace.append((pid, i, engine.now))
+                if pid == 0 and i == 5 and victims:
+                    victims[0].kill()
+
+        first = engine.spawn(ping(1))
+        victims.append(first)
+        engine.spawn(ping(0))
+
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_storm_actually_engages(monkeypatch):
+    # Guard against silently testing scalar-vs-scalar: with enough uniform
+    # Timeout-only processes the storm deque must be exercised.
+    engaged = []
+    original = Engine._run_storm
+
+    def spy(self, until):
+        engaged.append(True)
+        return original(self, until)
+
+    monkeypatch.setattr(Engine, "_run_storm", spy)
+    engine = Engine()
+    trace = []
+    uniform_ping(engine, trace, processes=20, events=20)
+    engine.run()
+    assert engaged, "storm mode never engaged on a uniform Timeout workload"
+
+
+def test_disable_batch_is_one_way_and_recorded():
+    engine = Engine()
+    assert engine.batch_enabled
+    engine.disable_batch("test-reason")
+    assert not engine.batch_enabled
+    assert "test-reason" in engine.batch_off_reasons
+    engine.disable_batch("another")
+    assert not engine.batch_enabled
+    assert "another" in engine.batch_off_reasons
+
+
+def test_env_switch_disables_batch(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTORIZE", "0")
+    engine = Engine()
+    assert not engine.batch_enabled
+
+
+def test_error_inside_storm_propagates_and_flushes():
+    # Raw process exceptions escape unwrapped — exactly as in the scalar
+    # loop — and the remaining storm deque must be flushed back into a
+    # valid heap so the simulation stays resumable.
+    engine = Engine()
+    pause = Timeout(1.0)
+
+    def ping():
+        for _ in range(40):
+            yield pause
+
+    def bad():
+        for _ in range(10):
+            yield pause
+        raise ValueError("boom")
+
+    for _ in range(10):
+        engine.spawn(ping())
+    engine.spawn(bad())
+    with pytest.raises(ValueError):
+        engine.run()
+    assert engine._storm is None
+    assert engine._heap, "pending events were lost with the storm"
+    engine.run()  # the surviving processes finish
+    assert engine.now == 40.0
+
+
+def test_run_after_storm_continues_cleanly():
+    engine = Engine()
+    trace = []
+    uniform_ping(engine, trace, processes=10, events=10)
+    engine.run(until=5.0)
+    engine.run()  # resume past the horizon; storms may re-engage
+    assert trace[-1][2] == 10.0
+    assert engine.now == 10.0
