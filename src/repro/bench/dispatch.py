@@ -119,35 +119,66 @@ class FileQueueDispatcher:
             else None
         )
         missing = set(job_ids)
-        while missing:
-            for job_id in sorted(missing):
-                path = self.results_dir / f"{job_id}.json"
-                try:
-                    with open(path, "r", encoding="utf-8") as fh:
-                        entry = json.load(fh)
-                except FileNotFoundError:
-                    continue
-                except json.JSONDecodeError:
-                    continue  # torn read of a non-atomic writer; retry
-                if "error" in entry:
+        try:
+            while missing:
+                for job_id in sorted(missing):
+                    path = self.results_dir / f"{job_id}.json"
+                    try:
+                        with open(path, "r", encoding="utf-8") as fh:
+                            entry = json.load(fh)
+                    except FileNotFoundError:
+                        continue
+                    except json.JSONDecodeError:
+                        continue  # torn read of a non-atomic writer; retry
+                    if "error" in entry:
+                        raise DispatchError(
+                            f"job {job_id} failed on "
+                            f"{entry.get('worker', '<unknown worker>')}: "
+                            f"{entry['error']}"
+                        )
+                    outcomes[job_id] = (
+                        entry["raw"], entry.get("elapsed_s", 0.0))
+                    missing.discard(job_id)
+                    path.unlink(missing_ok=True)
+                if not missing:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
                     raise DispatchError(
-                        f"job {job_id} failed on "
-                        f"{entry.get('worker', '<unknown worker>')}: "
-                        f"{entry['error']}"
+                        f"file queue timed out after {self.timeout_s}s with "
+                        f"{len(missing)} job(s) unfinished (is a worker "
+                        f"running? start one with: python -m "
+                        f"repro.bench.worker {self.root})"
                     )
-                outcomes[job_id] = (entry["raw"], entry.get("elapsed_s", 0.0))
-                missing.discard(job_id)
-                path.unlink(missing_ok=True)
-            if not missing:
-                break
-            if deadline is not None and time.monotonic() > deadline:
-                raise DispatchError(
-                    f"file queue timed out after {self.timeout_s}s with "
-                    f"{len(missing)} job(s) unfinished (is a worker running? "
-                    f"start one with: python -m repro.bench.worker {self.root})"
-                )
-            time.sleep(self.poll_s)
+                time.sleep(self.poll_s)
+        except BaseException:
+            # The batch is abandoned: nobody will ever collect its results.
+            # Remove whatever is left so idle workers don't burn time on
+            # stale jobs and the shared queue doesn't accumulate orphans.
+            self._discard(missing)
+            raise
         return [outcomes[job_id] for job_id in job_ids]
+
+    def _discard(self, job_ids) -> None:
+        """Best-effort removal of an abandoned batch's queue files.
+
+        Unclaimed specs vanish from ``jobs/``; for jobs already claimed the
+        claim marker and any late-arriving result are removed if present
+        (a worker mid-execution may still write its result afterwards —
+        harmless, just one orphan file instead of a growing backlog).
+        """
+        for job_id in job_ids:
+            # Claims carry the claiming worker's id: <job_id>.<worker>.json.
+            stale = [self.jobs_dir / f"{job_id}.json",
+                     self.results_dir / f"{job_id}.json"]
+            try:
+                stale.extend(self.claims_dir.glob(f"{job_id}.*"))
+            except OSError:
+                pass
+            for path in stale:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
 
 def from_env(workers: int) -> Any:

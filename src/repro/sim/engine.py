@@ -341,6 +341,8 @@ class Engine:
         rebuilt entries carry the uniform delay, so ``_mixed`` stays zero.
         """
         dq = self._storm
+        if dq is None:
+            return  # already flushed by a side effect inside send()
         self._storm = None
         sequence = self._sequence
         self._heap = [
@@ -400,7 +402,13 @@ class Engine:
                 # scalar loop), but the pending deque must survive as a heap.
                 self._flush_storm()
                 raise
-            if type(command) is Timeout and command.delay == uniform:
+            # The fast path is only valid while THIS storm is still live:
+            # send() side effects (call_later/call_at/spawn, an event trigger
+            # with waiters) flush the storm, copying the remaining deque into
+            # the rebuilt heap — appending to the dead deque and draining it
+            # further would execute every remaining resume twice.
+            if self._storm is dq and type(command) is Timeout \
+                    and command.delay == uniform:
                 append((when + uniform, send, process))
                 continue
             try:

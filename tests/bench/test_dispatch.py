@@ -78,6 +78,31 @@ def test_file_queue_times_out_without_workers(tmp_path):
         dispatcher.dispatch(_specs(1))
 
 
+def test_file_queue_timeout_discards_unclaimed_jobs(tmp_path):
+    # An abandoned batch must not leave specs behind for idle workers to
+    # execute later (their results would never be collected).
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.01, timeout_s=0.1)
+    with pytest.raises(DispatchError, match="timed out"):
+        dispatcher.dispatch(_specs(3))
+    assert list((tmp_path / "jobs").glob("*.json")) == []
+
+
+def test_file_queue_error_discards_remaining_batch(tmp_path):
+    # One bad job errors while the rest are still queued: dispatch raises
+    # and must sweep the batch's leftover job and result files.
+    dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.02, timeout_s=30)
+    bad = [{"fn": "repro.bench.scale:scale_name",
+            "params": {"no_such_kw": 1}, "seed": None,
+            "experiment": f"bad{i}"} for i in range(3)]
+    with pytest.raises(DispatchError, match="TypeError"):
+        # max_jobs=1: the worker executes exactly one job and exits, so two
+        # specs are provably still queued when dispatch raises.
+        _with_worker(tmp_path, lambda: dispatcher.dispatch(bad),
+                     idle_exit_s=None, max_jobs=1)
+    for sub in ("jobs", "claims", "results"):
+        assert list((tmp_path / sub).glob("*.json")) == []
+
+
 def test_worker_max_jobs_and_exit_count(tmp_path):
     dispatcher = FileQueueDispatcher(str(tmp_path), poll_s=0.02, timeout_s=30)
     for d in ("jobs", "claims", "results"):

@@ -143,6 +143,65 @@ def test_main_check_mode_gates_on_committed_file(tmp_path, capsys, monkeypatch):
     assert json.loads(out.read_text()) == inflated
 
 
+def _headline_with_ratios(engine=5.0, rdma=10.0, cachesim=2.0):
+    return {"headline": {
+        "engine_events_per_sec": 100.0 * engine,
+        "engine_scalar_events_per_sec": 100.0,
+        "rdma_verbs_per_sec": 100.0 * rdma,
+        "rdma_scalar_verbs_per_sec": 100.0,
+        "cachesim_accesses_per_sec": 100.0 * cachesim,
+        "cachesim_scalar_accesses_per_sec": 100.0,
+    }}
+
+
+def test_check_ratios_passes_above_floors():
+    report = _headline_with_ratios()
+    assert meta.check_ratios(report, meta.DEFAULT_RATIO_FLOORS) == []
+
+
+def test_check_ratios_flags_disengaged_fast_paths():
+    # A fast path silently falling back looks like a ~1x speedup.
+    report = _headline_with_ratios(engine=1.0, rdma=1.0, cachesim=1.0)
+    failures = meta.check_ratios(report, meta.DEFAULT_RATIO_FLOORS)
+    assert len(failures) == 3
+    assert any("engine" in f for f in failures)
+
+
+def test_check_ratios_ignores_missing_pairs():
+    assert meta.check_ratios({"headline": {}}, meta.DEFAULT_RATIO_FLOORS) == []
+
+
+def test_ratio_floors_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_RATIO_FLOORS", "engine=1.5, cachesim=1.1")
+    floors = meta.ratio_floors_from_env()
+    assert floors["engine"] == 1.5
+    assert floors["cachesim"] == 1.1
+    assert floors["rdma"] == meta.DEFAULT_RATIO_FLOORS["rdma"]
+
+
+def test_ratio_floors_env_rejects_unknown_names(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_RATIO_FLOORS", "warp-drive=9")
+    with pytest.raises(ValueError):
+        meta.ratio_floors_from_env()
+
+
+def test_main_check_ratio_mode(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "speed.json"
+    _shrink(monkeypatch)
+    # Absurd floors nothing can reach: the gate fails without touching disk.
+    monkeypatch.setenv(
+        "REPRO_PERF_RATIO_FLOORS", "engine=1e9,rdma=1e9,cachesim=1e9")
+    assert meta.main([str(out), "--check-ratio", "--repeats", "1"]) == 1
+    assert "PERF REGRESSION" in capsys.readouterr().out
+    assert not out.exists()
+    # Trivially low floors pass on any machine.
+    monkeypatch.setenv(
+        "REPRO_PERF_RATIO_FLOORS", "engine=0,rdma=0,cachesim=0")
+    assert meta.main([str(out), "--check-ratio", "--repeats", "1"]) == 0
+    assert "perf check passed" in capsys.readouterr().out
+    assert not out.exists()
+
+
 def test_threshold_env_must_be_numeric(tmp_path, monkeypatch):
     out = tmp_path / "speed.json"
     out.write_text(json.dumps({"schema": 2, "headline": {}}))

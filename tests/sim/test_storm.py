@@ -21,16 +21,38 @@ def run_workload(engine, build):
     return trace
 
 
-def both_engines(build, until=None):
-    storm_engine = Engine()
-    scalar_engine = Engine()
-    scalar_engine.disable_batch("test")
-    traces = []
-    for engine in (storm_engine, scalar_engine):
-        trace = []
-        build(engine, trace)
-        engine.run(until=until)
-        traces.append((trace, engine.now))
+def both_engines(build, until=None, expect_storm=False):
+    """Run ``build`` on a storm-enabled and a scalar-pinned engine.
+
+    ``expect_storm=True`` additionally asserts the fast path really engaged
+    on the storm engine — without it a workload that stays below
+    ``_STORM_MIN`` (or never reaches ``_mixed == 0``) silently compares
+    scalar-vs-scalar and cannot catch storm-mode bugs.
+    """
+    engaged = []
+    original = Engine._run_storm
+
+    def spy(self, horizon):
+        engaged.append(self)
+        return original(self, horizon)
+
+    Engine._run_storm = spy
+    try:
+        storm_engine = Engine()
+        scalar_engine = Engine()
+        scalar_engine.disable_batch("test")
+        traces = []
+        for engine in (storm_engine, scalar_engine):
+            trace = []
+            build(engine, trace)
+            engine.run(until=until)
+            traces.append((trace, engine.now))
+    finally:
+        Engine._run_storm = original
+    assert scalar_engine not in engaged, "scalar engine must never storm"
+    if expect_storm:
+        assert storm_engine in engaged, \
+            "storm mode never engaged; this test compared scalar-vs-scalar"
     return traces[0], traces[1]
 
 
@@ -48,62 +70,76 @@ def uniform_ping(engine, trace, processes=10, events=50, delay=1.0):
 
 def test_storm_matches_scalar_on_uniform_timeouts():
     (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
-        uniform_ping)
+        uniform_ping, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end
 
 
 def test_storm_respects_until_boundary():
     (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
-        uniform_ping, until=17.0)
+        uniform_ping, until=17.0, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end == 17.0
 
 
 def test_storm_flushes_on_mixed_delay():
+    # 12 uniform processes keep the heap above _STORM_MIN with _mixed == 0,
+    # so a storm is live when two of them yield the off-uniform delay at
+    # i == 20 — the mid-storm Timeout._apply flush path.
     def build(engine, trace):
         pause = Timeout(1.0)
         slow = Timeout(2.5)
 
         def ping(pid):
             for i in range(40):
-                yield (slow if (pid + i) % 7 == 0 else pause)
+                yield (slow if i == 20 and pid < 2 else pause)
                 trace.append((pid, i, engine.now))
 
-        for pid in range(8):
+        for pid in range(12):
             engine.spawn(ping(pid))
 
-    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        build, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end
 
 
 def test_storm_flushes_on_event_wait():
+    # The gate triggers mid-body while a storm is draining: the waiters'
+    # call_later resumes flush the storm *inside* send(), and the triggering
+    # process then yields another uniform Timeout — the exact shape that
+    # double-executed every remaining resume before the `_storm is dq` guard.
     def build(engine, trace):
         gate = Event(engine)
         pause = Timeout(1.0)
 
-        def waiter():
+        def waiter(wid):
             value = yield gate
-            trace.append(("gate", value, engine.now))
+            trace.append(("gate", wid, value, engine.now))
 
         def ping(pid):
             for i in range(30):
                 yield pause
+                if pid == 0 and i == 10:
+                    gate.trigger("open")
                 trace.append((pid, i, engine.now))
-            if pid == 0:
-                gate.trigger("open")
 
-        engine.spawn(waiter())
-        for pid in range(6):
+        for wid in range(2):
+            engine.spawn(waiter(wid))
+        for pid in range(12):
             engine.spawn(ping(pid))
 
-    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        build, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end
 
 
 def test_storm_flushes_on_call_later():
+    # The REVIEW repro: a process body calls engine.call_later mid-storm
+    # (flushing the deque into the heap inside send()) and then yields the
+    # uniform Timeout.  Unguarded, the storm loop kept draining the dead
+    # deque and every remaining resume ran twice ("event triggered twice").
     def build(engine, trace):
         pause = Timeout(1.0)
 
@@ -115,18 +151,52 @@ def test_storm_flushes_on_call_later():
                         0.5, lambda: trace.append(("cb", engine.now)))
                 trace.append((pid, i, engine.now))
 
-        for pid in range(6):
+        for pid in range(12):
             engine.spawn(ping(pid))
 
-    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        build, expect_storm=True)
+    assert storm_trace == scalar_trace
+    assert storm_end == scalar_end
+
+
+def test_storm_flushes_on_spawn():
+    # spawn() mid-body goes through call_later and must flush the storm too.
+    def build(engine, trace):
+        pause = Timeout(1.0)
+
+        def late(pid):
+            for i in range(5):
+                yield pause
+                trace.append(("late", pid, i, engine.now))
+
+        def ping(pid):
+            for i in range(30):
+                yield pause
+                if pid == 1 and i == 12:
+                    engine.spawn(late(pid))
+                trace.append((pid, i, engine.now))
+
+        for pid in range(12):
+            engine.spawn(ping(pid))
+
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        build, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end
 
 
 def test_kill_during_storm():
+    # The kill happens while a storm is draining; the joiner makes the
+    # victim's done-event resume a waiter via call_later, so the kill also
+    # flushes the storm mid-send.
     def build(engine, trace):
         pause = Timeout(1.0)
         victims = []
+
+        def joiner():
+            value = yield victims[0]
+            trace.append(("joined", value, engine.now))
 
         def ping(pid):
             for i in range(40):
@@ -135,11 +205,14 @@ def test_kill_during_storm():
                 if pid == 0 and i == 5 and victims:
                     victims[0].kill()
 
-        first = engine.spawn(ping(1))
-        victims.append(first)
+        victims.append(engine.spawn(ping(1)))
+        engine.spawn(joiner())
         engine.spawn(ping(0))
+        for pid in range(2, 12):
+            engine.spawn(ping(pid))
 
-    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(build)
+    (storm_trace, storm_end), (scalar_trace, scalar_end) = both_engines(
+        build, expect_storm=True)
     assert storm_trace == scalar_trace
     assert storm_end == scalar_end
 
