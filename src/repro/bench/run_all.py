@@ -25,6 +25,7 @@ import time
 
 from ..obs.observer import Observability, activate, deactivate
 from .experiments import (
+    extra_controller_failover,
     extra_elasticity_churn,
     extra_fault_recovery,
     extra_history_size,
@@ -76,6 +77,7 @@ EXPERIMENTS = {
     "extra-history": extra_history_size,
     "extra-faults": extra_fault_recovery,
     "extra-elasticity-churn": extra_elasticity_churn,
+    "extra-controller-failover": extra_controller_failover,
 }
 
 

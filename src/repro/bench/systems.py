@@ -22,6 +22,7 @@ def build_ditto(
     num_memory_nodes: int = 1,
     faults=None,
     segment_bytes: int = 256 * 1024,
+    controller_replicas: int = 0,
     **config_kwargs,
 ) -> DittoCluster:
     config = DittoConfig(policies=tuple(policies), **config_kwargs)
@@ -35,6 +36,7 @@ def build_ditto(
         max_capacity_objects=max_capacity_objects,
         num_memory_nodes=num_memory_nodes,
         faults=faults,
+        controller_replicas=controller_replicas,
     )
 
 

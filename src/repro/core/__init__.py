@@ -4,6 +4,15 @@ from .adaptive import ExpertWeights, GlobalWeights, bitmap_of
 from .cache import DittoCache, DittoCluster
 from .client import CacheOperationError, DittoClient
 from .config import DittoConfig
+from .consensus import (
+    ConsensusUnavailable,
+    ControllerGroup,
+    GroupClient,
+    MetadataState,
+    NotLeader,
+    RaftParams,
+    RaftReplica,
+)
 from .elasticity import (
     EpochFence,
     MembershipTable,
@@ -28,10 +37,19 @@ from .policies import (
     make_policy,
     policy_loc,
 )
+from .retry import backoff_us
 
 __all__ = [
     "CacheOperationError",
     "CachePolicy",
+    "ConsensusUnavailable",
+    "ControllerGroup",
+    "GroupClient",
+    "MetadataState",
+    "NotLeader",
+    "RaftParams",
+    "RaftReplica",
+    "backoff_us",
     "DittoCache",
     "DittoClient",
     "DittoCluster",

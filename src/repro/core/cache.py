@@ -33,6 +33,7 @@ from ..sim.faults import FaultInjector, FaultPlan
 from .adaptive import GlobalWeights
 from .client import DittoClient
 from .config import DittoConfig
+from .consensus import ControllerGroup, MetadataState, RaftParams
 from .elasticity import (
     ACTIVE,
     DRAINING,
@@ -65,6 +66,8 @@ class DittoCluster:
         num_memory_nodes: int = 1,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         obs: Optional[Observability] = None,
+        controller_replicas: int = 0,
+        raft_params: Optional[RaftParams] = None,
     ):
         """``max_capacity_objects`` provisions the memory pool for future
         elastic growth (default: the initial capacity); ``resize_memory``
@@ -216,6 +219,15 @@ class DittoCluster:
         # Client ids are monotonic so a departed client's id (and its grant
         # log at the controllers) is never silently reused by a newcomer.
         self._next_client_id = 0
+        #: Replicated controller group (``repro.core.consensus``); stays
+        #: None — with zero overhead and byte-identical outputs — unless
+        #: ``controller_replicas`` > 0 or :meth:`enable_controller_ha` runs.
+        self.consensus: Optional[ControllerGroup] = None
+        self._cluster_consensus = None
+        self._metadata: Optional[MetadataState] = None
+        self._raft_params = raft_params
+        if controller_replicas:
+            self.enable_controller_ha(controller_replicas, params=raft_params)
         self.add_clients(num_clients)
 
     def _wire_weight_metrics(self, obs_id: str) -> None:
@@ -396,6 +408,43 @@ class DittoCluster:
                 "elastic.epoch", cluster=obs_id
             )
 
+    def enable_controller_ha(
+        self, replicas: int = 3, params: Optional[RaftParams] = None
+    ) -> ControllerGroup:
+        """Arm replicated controller metadata (DESIGN §3.6).
+
+        Builds a :class:`~repro.core.consensus.ControllerGroup` of
+        ``replicas`` raft-style state machines over the cluster's *physical*
+        metadata — the live :class:`MembershipTable` and every controller's
+        :class:`~repro.memory.controller.SegmentState`, shared by reference.
+        From here on, segment-management and membership RPCs from clients
+        and migrators route through the group (majority commit, leader
+        redirects, session dedup) instead of the single controller on node
+        0, so any minority of controller replicas can crash or partition —
+        even mid-drain — without losing metadata or blocking the cluster.
+        """
+        if self.consensus is not None:
+            raise RuntimeError("controller HA is already enabled")
+        if replicas < 1:
+            raise ValueError("need at least one controller replica")
+        self._ensure_elastic()
+        metadata = MetadataState(self.membership)
+        for node in self.nodes:
+            metadata.adopt_node(node.controller.state)
+        self._metadata = metadata
+        self.consensus = ControllerGroup(
+            self.engine, metadata, replicas, self.seed,
+            params=params if params is not None else self._raft_params,
+            faults=self.fault_injector, counters=self.counters,
+            tracer=self.tracer,
+        )
+        for client in self.clients:
+            if client.ep.consensus is None:
+                client.ep.consensus = self.consensus.make_client()
+        #: The cluster's own submission handle (add_memory_node etc.).
+        self._cluster_consensus = self.consensus.make_client()
+        return self.consensus
+
     def _publish_epoch(self, epoch: int) -> None:
         """Make a new membership epoch visible to fences and controllers."""
         self.fence.advance(epoch)
@@ -430,7 +479,18 @@ class DittoCluster:
         self.pool.add(node)
         for client in self.clients:
             client.alloc.add_node(node)
-        epoch = self.membership.add(node_id)
+        if self.consensus is not None:
+            # Pre-bind the new controller's state into the physical
+            # metadata, then commit the join through the replicated log
+            # (replicas build their own copies from the command's range).
+            self._metadata.adopt_node(node.controller.state)
+            epoch = self.engine.run_process(
+                self._cluster_consensus.submit(
+                    ("add_node", node_id, node.base, node.end)
+                )
+            )
+        else:
+            epoch = self.membership.add(node_id)
         self._publish_epoch(epoch)
         if self.obs is not None:
             obs_id = str(self.tracer.pid) if self.tracer is not None else "0"
@@ -480,6 +540,8 @@ class DittoCluster:
             raise ValueError("cannot remove the last memory node")
         if self.membership.state(node_id) != ACTIVE:
             raise ValueError(f"node {node_id} is already draining or retired")
+        if any(m.node.node_id == node_id for m in self._active_migrators):
+            raise ValueError(f"node {node_id} already has a drain in flight")
         # Capacity precheck (best effort): the drain must place the node's
         # *live* data on fresh segments from the survivors.  Live bytes on
         # one node are unknown without a scan but cannot exceed either the
@@ -501,10 +563,17 @@ class DittoCluster:
                 f"cannot drain node {node_id}: survivors have {have} bytes "
                 f"free but up to {need} live bytes may need relocation"
             )
-        epoch = self.membership.set_state(node_id, DRAINING)
-        self.fence.fence_writes(node.base, node.end, node_id)
-        self._publish_epoch(epoch)
-        node.controller.draining = True
+        if self.consensus is None:
+            epoch = self.membership.set_state(node_id, DRAINING)
+            self.fence.fence_writes(node.base, node.end, node_id)
+            self._publish_epoch(epoch)
+            node.controller.draining = True
+        else:
+            # Controller HA: the DRAINING flip must replicate before the
+            # drain proceeds, and commits need sim time — the migrator
+            # commits it as its first step (epoch_start is provisional
+            # until then).
+            epoch = self.membership.epoch
         record = MigrationRecord(
             node_id=node_id, epoch_start=epoch, started_us=self.engine.now
         )
@@ -514,7 +583,7 @@ class DittoCluster:
         self.counters.add("mn_remove_started")
         return self.engine.spawn(migrator.drain(), name=f"drain_mn{node_id}")
 
-    def _finish_drain(self, migrator) -> Optional[DittoClient]:
+    def _finish_drain(self, migrator, epoch=None) -> Optional[DittoClient]:
         """Atomic handoff: retire the drained node and purge references.
 
         Called by the migrator after two consecutive clean scans, with no
@@ -525,7 +594,10 @@ class DittoCluster:
         process), or None if every client is dead.
         """
         node = migrator.node
-        epoch = self.membership.set_state(node.node_id, RETIRED)
+        if epoch is None:
+            epoch = self.membership.set_state(node.node_id, RETIRED)
+        # (Under controller HA the flip already committed through the log,
+        # which mutated this same membership table; ``epoch`` carries it.)
         self.fence.retire(node.base, node.end, node.node_id)
         self._publish_epoch(epoch)
         migrator.record.epoch_end = epoch
@@ -541,14 +613,15 @@ class DittoCluster:
             survivor.alloc.adopt(migrator.alloc)
         return survivor
 
-    def _abort_drain(self, migrator) -> Optional[DittoClient]:
+    def _abort_drain(self, migrator, epoch=None) -> Optional[DittoClient]:
         """Back out of a drain that cannot complete: the node returns to
         ACTIVE at a new epoch and the write fence lifts.  Objects already
         copied off stay where they landed (moving them back would be wasted
         work); the migrator's allocator state goes to a survivor so every
         byte stays accounted.  Synchronous, like :meth:`_finish_drain`."""
         node = migrator.node
-        epoch = self.membership.set_state(node.node_id, ACTIVE)
+        if epoch is None:
+            epoch = self.membership.set_state(node.node_id, ACTIVE)
         self.fence.lift_writes(node.node_id)
         self._publish_epoch(epoch)
         node.controller.draining = False
@@ -643,7 +716,13 @@ class DittoCluster:
         attempt = 0
         while True:
             try:
-                result = yield from survivor.ep.rpc(node, op, payload)
+                if survivor.ep.consensus is not None:
+                    command = (op, node.node_id) + (
+                        payload if isinstance(payload, tuple) else (payload,)
+                    )
+                    result = yield from survivor.ep.consensus.submit(command)
+                else:
+                    result = yield from survivor.ep.rpc(node, op, payload)
                 return result
             except RdmaFaultError:
                 attempt += 1

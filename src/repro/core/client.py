@@ -41,6 +41,7 @@ from ..rdma.verbs import (
 from ..sim import Timeout
 from . import layout as L
 from .elasticity import ACTIVE
+from .retry import backoff_us
 from .adaptive import ExpertWeights, bitmap_of
 from .fc_cache import FrequencyCounterCache
 from .history import HISTORY_WRAP, history_age, is_expired
@@ -151,6 +152,11 @@ class DittoClient:
             self.ep.fence = fence
             self.alloc.set_active(cluster.membership.active_ids())
             self.membership_epoch = cluster.membership.epoch
+        group = getattr(cluster, "consensus", None)
+        if group is not None:
+            # Controller HA armed: metadata RPCs go through the replicated
+            # controller group under this client's own dedup session.
+            self.ep.consensus = group.make_client()
         self.policies = [make_policy(name) for name in self.config.policies]
         self.ext_fields: Tuple[str, ...] = cluster.ext_fields
         self.ext_bytes = 8 * len(self.ext_fields)
@@ -197,17 +203,13 @@ class DittoClient:
     def _backoff_us(self, fault_attempt: int) -> float:
         """Exponential backoff with jitter for fault retry ``fault_attempt``
         (1-based).  Returns 0 when backoff is disabled."""
-        base = self.config.retry_backoff_us
-        if base <= 0.0:
-            return 0.0
-        delay = base * (2 ** (fault_attempt - 1))
-        ceiling = self.config.retry_backoff_max_us
-        if ceiling > 0.0 and delay > ceiling:
-            delay = ceiling
-        jitter = self.config.retry_jitter
-        if jitter > 0.0:
-            delay *= 1.0 + jitter * self.rng.random()
-        return delay
+        return backoff_us(
+            fault_attempt,
+            base=self.config.retry_backoff_us,
+            ceiling=self.config.retry_backoff_max_us,
+            jitter=self.config.retry_jitter,
+            rng=self.rng,
+        )
 
     def _refresh_membership(self) -> Generator:
         """Fetch the current membership table after a StaleEpoch NACK.
@@ -218,7 +220,14 @@ class DittoClient:
         refreshing only reroutes *writes* — the documented degraded mode of
         a drain.
         """
-        epoch, entries = yield from self.ep.rpc(self.node, "get_membership", None)
+        if self.ep.consensus is not None:
+            epoch, entries = yield from self.ep.consensus.submit(
+                ("get_membership",)
+            )
+        else:
+            epoch, entries = yield from self.ep.rpc(
+                self.node, "get_membership", None
+            )
         self.alloc.set_active(
             [nid for nid, state in entries if state == ACTIVE]
         )

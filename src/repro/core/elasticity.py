@@ -45,6 +45,7 @@ from ..memory.controller import OutOfMemoryError
 from ..rdma.verbs import RdmaEndpoint, RdmaFaultError, StaleEpoch
 from ..sim import Timeout
 from . import layout as L
+from .retry import backoff_us
 
 #: Node membership states.
 ACTIVE = "active"
@@ -237,6 +238,14 @@ class Migrator:
             faults=cluster.fault_injector,
             tracer=cluster.tracer,
         )
+        group = getattr(cluster, "consensus", None)
+        if group is not None:
+            # Controller HA: the migrator's metadata traffic (segment
+            # grants for relocated objects, membership flips, grant
+            # reassignment) goes through the replicated controller group
+            # under its own dedup session, so a controller crash mid-drain
+            # can neither lose nor double-apply a step.
+            self.ep.consensus = group.make_client()
         self.alloc = StripedAllocator(
             self.ep, cluster.nodes,
             min(cluster.segment_bytes, MIGRATION_SEGMENT_BYTES),
@@ -270,11 +279,13 @@ class Migrator:
         survivor = next(
             (c for c in self.cluster.clients if not c.dead), None
         )
-        base = self.cluster.config.retry_backoff_us
         if survivor is not None:
             delay = survivor._backoff_us(min(attempt, 8))
         else:
-            delay = base * (2 ** (min(attempt, 8) - 1)) if base > 0 else 0.0
+            # No live client RNG to draw jitter from: plain exponential.
+            delay = backoff_us(
+                min(attempt, 8), base=self.cluster.config.retry_backoff_us
+            )
         return Timeout(delay) if delay > 0.0 else Timeout(0.0)
 
     # -- the drain ----------------------------------------------------------
@@ -293,6 +304,18 @@ class Migrator:
         rec = self.record
         t0 = cluster.engine.now
         try:
+            if self.ep.consensus is not None:
+                # Controller HA: the DRAINING flip is a replicated log
+                # entry, not a local mutation — the drain only proceeds
+                # once a majority of controller replicas has durably
+                # recorded it, so a failed-over controller knows a drain
+                # was in flight.  The fence arms at the committed epoch.
+                epoch = yield from self._commit_membership(DRAINING)
+                cluster.fence.fence_writes(
+                    self.node.base, self.node.end, self.node.node_id
+                )
+                cluster._publish_epoch(epoch)
+                rec.epoch_start = epoch
             # Phase 1 — copy: hot-first passes until a pass moves nothing.
             self._notify("copy")
             t_copy = cluster.engine.now
@@ -330,15 +353,28 @@ class Migrator:
                         f"handoff of node {self.node.node_id} kept finding "
                         f"stragglers after {rec.passes} passes"
                     )
+            epoch_end = None
+            if self.ep.consensus is not None:
+                # The RETIRED flip, too, must commit before the node leaves
+                # the pool; a persistent commit failure aborts the drain.
+                epoch_end = yield from self._commit_membership(RETIRED)
         except MigrationError:
-            survivor = cluster._abort_drain(self)
+            epoch = None
+            if self.ep.consensus is not None:
+                # Best effort: if even the abort cannot commit (controller
+                # group persistently unavailable), fall back to the local
+                # epoch bump rather than unwinding the engine.
+                epoch = yield from self._commit_membership(
+                    ACTIVE, best_effort=True
+                )
+            survivor = cluster._abort_drain(self, epoch=epoch)
             yield from self._reassign_grants_to(survivor)
             self._notify("aborted")
             rec.finished_us = cluster.engine.now
             return rec
         # Synchronous retire: no yield between the fence flip and the purge,
         # so no verb can observe a half-retired node.
-        survivor = cluster._finish_drain(self)
+        survivor = cluster._finish_drain(self, epoch=epoch_end)
         yield from self._reassign_grants_to(survivor)
         if self.tracer is not None:
             self.tracer.complete_at(
@@ -354,6 +390,26 @@ class Migrator:
         rec.finished_us = cluster.engine.now
         return rec
 
+    def _commit_membership(self, state: str, best_effort: bool = False):
+        """Commit a membership flip for the draining node through the
+        replicated controller log.  Retries ride the migration fault budget
+        (:class:`~repro.core.consensus.ConsensusUnavailable` is an
+        :class:`RdmaFaultError`); with ``best_effort`` a final failure
+        returns None instead of raising, for the abort path."""
+        node_id = self.node.node_id
+        try:
+            epoch = yield from self._with_retries(
+                lambda: self.ep.consensus.submit(
+                    ("membership_set", node_id, state)
+                )
+            )
+            return epoch
+        except MigrationError:
+            if best_effort:
+                self.counters.add("migration_commit_failed")
+                return None
+            raise
+
     def _reassign_grants_to(self, survivor):
         """Move the migration allocator's grant-log entries to the client
         that adopted its state, so a later crash of that client reconciles
@@ -365,12 +421,16 @@ class Migrator:
             return
         owner = self.alloc.owner
         for target in list(self.cluster.nodes):
-            try:
-                yield from self._with_retries(
-                    lambda n=target: self.ep.rpc(
-                        n, "reassign_grants", (owner, survivor.client_id)
-                    )
+            if self.ep.consensus is not None:
+                call = lambda n=target: self.ep.consensus.submit(
+                    ("reassign_grants", n.node_id, owner, survivor.client_id)
                 )
+            else:
+                call = lambda n=target: self.ep.rpc(
+                    n, "reassign_grants", (owner, survivor.client_id)
+                )
+            try:
+                yield from self._with_retries(call)
             except MigrationError:
                 self.counters.add("migration_reassign_failed")
                 break

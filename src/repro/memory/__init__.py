@@ -1,7 +1,7 @@
 """The memory pool: memory nodes, controllers, and client-side allocation."""
 
 from .allocator import ClientAllocator, MemoryBudget, StripedAllocator
-from .controller import Controller, OutOfMemoryError
+from .controller import Controller, OutOfMemoryError, SegmentState
 from .node import BLOCK_SIZE, MemoryAccessError, MemoryNode, MemoryPool
 
 __all__ = [
@@ -13,5 +13,6 @@ __all__ = [
     "MemoryNode",
     "MemoryPool",
     "OutOfMemoryError",
+    "SegmentState",
     "StripedAllocator",
 ]

@@ -122,9 +122,14 @@ class ClientAllocator:
             want = max(self.segment_bytes, size)
             tracer = self.endpoint.tracer
             t0 = self.endpoint.engine._now if tracer is not None else 0.0
-            addr = yield from self.endpoint.rpc(
-                self.node, "alloc_segment", (want, self.owner)
-            )
+            if self.endpoint.consensus is not None:
+                addr = yield from self.endpoint.consensus.submit(
+                    ("alloc_segment", self.node.node_id, want, self.owner)
+                )
+            else:
+                addr = yield from self.endpoint.rpc(
+                    self.node, "alloc_segment", (want, self.owner)
+                )
             if tracer is not None:
                 tracer.complete(
                     "alloc.segment", "allocator", t0,

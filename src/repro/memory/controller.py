@@ -6,14 +6,18 @@ CPU cost — a constant or a ``cost(payload) -> us`` callable — and the handle
 function runs at the *end* of its CPU service window, so its side effects
 linearize at a single simulated instant.
 
-Built-in handlers implement the coarse level of the two-level memory
-management scheme (segment ALLOC/FREE); Ditto's adaptive module and the
-CliqueMap baseline register their own handlers on top.
+The segment-management state itself (the coarse level of the two-level
+memory management scheme) lives in :class:`SegmentState`, a pure in-memory
+state machine with no engine or network dependencies.  The split matters for
+controller HA (``repro.core.consensus``): replicated controllers apply the
+same commands to their own :class:`SegmentState` copies, while the serving
+path here stays the single-controller fast path.  Ditto's adaptive module
+and the CliqueMap baseline register their own handlers on top.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Optional, Tuple, Union
+from typing import Callable, Dict, Generator, List, Optional, Tuple, Union
 
 from ..rdma.verbs import StaleEpoch
 from ..sim import Engine, Resource, Timeout
@@ -24,6 +28,97 @@ CostSpec = Union[float, Callable[[object], float]]
 
 class OutOfMemoryError(RuntimeError):
     """The memory node cannot satisfy a segment allocation."""
+
+
+class SegmentState:
+    """Pure segment-management state of one memory node.
+
+    Bump pointer, size-classed free lists, and the per-owner grant log —
+    everything ``alloc_segment``/``free_segment``/``list_segments``/
+    ``reassign_grants`` read or write, with no side effects beyond its own
+    fields.  Deterministic and cloneable, so consensus replicas can apply
+    the same command stream to independent copies and converge.
+    """
+
+    __slots__ = (
+        "node_id", "next_free", "end", "free_segments", "grants",
+        "draining", "epoch",
+    )
+
+    def __init__(self, node_id: int, start: int, end: int):
+        self.node_id = node_id
+        self.next_free = start
+        self.end = end
+        self.free_segments: Dict[int, List[int]] = {}  # size -> [addr, ...]
+        # Grant log: owner id -> [(addr, size), ...].  Lets a survivor
+        # reconcile a crashed client's segments (``list_segments``) and
+        # backs the offline memory-accounting sweep.
+        self.grants: Dict[int, List[Tuple[int, int]]] = {}
+        #: Once True (the node is draining out of the pool), segment
+        #: allocation is fenced; ``epoch`` is the membership epoch a
+        #: StaleEpoch NACK advertises.
+        self.draining = False
+        self.epoch = 0
+
+    def clone(self) -> "SegmentState":
+        new = SegmentState(self.node_id, self.next_free, self.end)
+        new.free_segments = {
+            size: list(addrs) for size, addrs in self.free_segments.items()
+        }
+        new.grants = {owner: list(segs) for owner, segs in self.grants.items()}
+        new.draining = self.draining
+        new.epoch = self.epoch
+        return new
+
+    # -- commands -----------------------------------------------------------
+
+    def alloc(self, size: int, owner: int) -> int:
+        """Hand out a contiguous segment; raises when the node is exhausted."""
+        size = _round_up(size, BLOCK_SIZE)
+        bucket = self.free_segments.get(size)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            if self.next_free + size > self.end:
+                raise OutOfMemoryError(
+                    f"node {self.node_id}: cannot allocate {size} bytes"
+                )
+            addr = self.next_free
+            self.next_free += size
+        self.grants.setdefault(owner, []).append((addr, size))
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        size = _round_up(size, BLOCK_SIZE)
+        self.free_segments.setdefault(size, []).append(addr)
+        for grants in self.grants.values():
+            if (addr, size) in grants:
+                grants.remove((addr, size))
+                break
+
+    def list_owner(self, owner: int) -> list:
+        """Segments currently granted to ``owner`` (crash reconciliation)."""
+        return list(self.grants.get(owner, ()))
+
+    def reassign(self, from_owner: int, to_owner: int) -> int:
+        """Move every grant from one owner to another; returns the count."""
+        moving = self.grants.pop(from_owner, [])
+        if moving:
+            self.grants.setdefault(to_owner, []).extend(moving)
+        return len(moving)
+
+    # -- introspection ------------------------------------------------------
+
+    def granted_segments(self) -> Dict[int, list]:
+        """Snapshot of the grant log (offline introspection, zero cost)."""
+        return {owner: list(segs) for owner, segs in self.grants.items() if segs}
+
+    @property
+    def bytes_remaining(self) -> int:
+        reclaimed = sum(
+            size * len(addrs) for size, addrs in self.free_segments.items()
+        )
+        return (self.end - self.next_free) + reclaimed
 
 
 class Controller:
@@ -40,21 +135,12 @@ class Controller:
         self.engine: Engine = node.engine
         self.cpu = Resource(self.engine, cores)
         self._handlers: Dict[str, Tuple[Callable, CostSpec]] = {}
-        # Segment allocation state (coarse level of two-level management).
-        self._next_free = node.base + reserve
-        self._free_segments: Dict[int, list] = {}  # size -> [addr, ...]
-        # Grant log: owner id -> [(addr, size), ...].  Lets a survivor
-        # reconcile a crashed client's segments (``list_segments``) and
-        # backs the offline memory-accounting sweep.
-        self._grants: Dict[int, list] = {}
+        #: Segment allocation state; shared by reference with the replicated
+        #: metadata service when controller HA is armed, so committed
+        #: commands and locally served RPCs observe the same state.
+        self.state = SegmentState(node.node_id, node.base + reserve, node.end)
         #: Span tracer (repro.obs); None keeps serve() span-free.
         self.tracer = None
-        #: Once True (the node is draining out of the pool), segment
-        #: allocation is fenced: ``alloc_segment`` NACKs with StaleEpoch so
-        #: stale clients stop placing new data here.  ``epoch`` is the
-        #: membership epoch the NACK advertises.
-        self.draining = False
-        self.epoch = 0
         node.controller = self
         self.register("alloc_segment", self._alloc_segment)
         self.register("free_segment", self._free_segment)
@@ -97,7 +183,7 @@ class Controller:
             )
         return result
 
-    # -- built-in segment management --------------------------------------
+    # -- built-in segment management (thin RPC shims over SegmentState) ----
 
     def _alloc_segment(self, payload) -> int:
         """Hand out a contiguous segment; raises when the node is exhausted.
@@ -105,65 +191,70 @@ class Controller:
         ``payload`` is either a plain size or ``(size, owner)``; grants are
         logged under the owner (anonymous callers share owner ``-1``).
         """
-        if self.draining:
+        state = self.state
+        if state.draining:
             raise StaleEpoch(
                 f"node {self.node.node_id} is draining at epoch "
-                f"{self.epoch}: no new segment grants",
-                verb="rpc", node_id=self.node.node_id, epoch=self.epoch,
+                f"{state.epoch}: no new segment grants",
+                verb="rpc", node_id=self.node.node_id, epoch=state.epoch,
             )
         if isinstance(payload, tuple):
             size, owner = payload
         else:
             size, owner = payload, -1
-        size = _round_up(size, BLOCK_SIZE)
-        bucket = self._free_segments.get(size)
-        if bucket:
-            addr = bucket.pop()
-        else:
-            if self._next_free + size > self.node.end:
-                raise OutOfMemoryError(
-                    f"node {self.node.node_id}: cannot allocate {size} bytes"
-                )
-            addr = self._next_free
-            self._next_free += size
-        self._grants.setdefault(owner, []).append((addr, size))
-        return addr
+        return state.alloc(size, owner)
 
     def _free_segment(self, payload: Tuple[int, int]) -> None:
         addr, size = payload
-        size = _round_up(size, BLOCK_SIZE)
-        self._free_segments.setdefault(size, []).append(addr)
-        for grants in self._grants.values():
-            if (addr, size) in grants:
-                grants.remove((addr, size))
-                break
+        self.state.free(addr, size)
 
     def _list_segments(self, owner: int) -> list:
-        """Segments currently granted to ``owner`` (crash reconciliation)."""
-        return list(self._grants.get(owner, ()))
+        return self.state.list_owner(owner)
 
     def _reassign_grants(self, payload: Tuple[int, int]) -> int:
-        """Move every grant from one owner to another; returns the count.
-
-        Used when a client leaves gracefully (its survivor absorbs the
-        grants) and when a finished migration's segments are handed to a
-        surviving client — so a later crash of the new owner still
-        reconciles the full grant set.
-        """
         from_owner, to_owner = payload
-        moving = self._grants.pop(from_owner, [])
-        if moving:
-            self._grants.setdefault(to_owner, []).extend(moving)
-        return len(moving)
+        return self.state.reassign(from_owner, to_owner)
 
     def granted_segments(self) -> Dict[int, list]:
-        """Snapshot of the grant log (offline introspection, zero cost)."""
-        return {owner: list(segs) for owner, segs in self._grants.items() if segs}
+        return self.state.granted_segments()
 
     @property
     def bytes_remaining(self) -> int:
-        reclaimed = sum(size * len(addrs) for size, addrs in self._free_segments.items())
-        return (self.node.end - self._next_free) + reclaimed
+        return self.state.bytes_remaining
+
+    # -- back-compat accessors (tests and callers poke these directly) -----
+
+    @property
+    def draining(self) -> bool:
+        return self.state.draining
+
+    @draining.setter
+    def draining(self, value: bool) -> None:
+        self.state.draining = value
+
+    @property
+    def epoch(self) -> int:
+        return self.state.epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self.state.epoch = value
+
+    @property
+    def _next_free(self) -> int:
+        return self.state.next_free
+
+    @_next_free.setter
+    def _next_free(self, value: int) -> None:
+        self.state.next_free = value
+
+    @property
+    def _free_segments(self) -> Dict[int, List[int]]:
+        return self.state.free_segments
+
+    @property
+    def _grants(self) -> Dict[int, List[Tuple[int, int]]]:
+        return self.state.grants
 
 
 def _round_up(value: int, granule: int) -> int:

@@ -10,7 +10,7 @@ def test_registry_covers_every_figure():
         "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
         "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab02",
         "extra-samples", "extra-history", "extra-faults",
-        "extra-elasticity-churn",
+        "extra-elasticity-churn", "extra-controller-failover",
     }
     assert set(run_all.EXPERIMENTS) == expected
 

@@ -1,0 +1,222 @@
+"""Unit tests for the replicated controller metadata (repro.core.consensus)."""
+
+import pytest
+
+from repro.core.consensus import (
+    LEADER,
+    ConsensusUnavailable,
+    ControllerGroup,
+    MetadataState,
+    RaftParams,
+)
+from repro.core.elasticity import ACTIVE, DRAINING, MembershipTable
+from repro.memory.controller import OutOfMemoryError, SegmentState
+from repro.rdma.verbs import StaleEpoch
+from repro.sim import Engine
+from repro.sim.faults import ControllerCrash, FaultInjector, FaultPlan, Partition
+
+MB = 1 << 20
+
+
+def build_group(n_replicas=3, seed=7, faults=None, nodes=2, params=None):
+    engine = Engine()
+    membership = MembershipTable(range(nodes))
+    physical = MetadataState(membership)
+    for nid in range(nodes):
+        physical.adopt_node(SegmentState(nid, nid * MB, (nid + 1) * MB))
+    group = ControllerGroup(
+        engine, physical, n_replicas, seed, params=params, faults=faults
+    )
+    return engine, group, physical
+
+
+def submit(engine, client, command):
+    return engine.run_process(client.submit(command))
+
+
+def test_elects_exactly_one_leader():
+    engine, group, _ = build_group()
+    engine.run(until=5_000)
+    leaders = [r for r in group.replicas if r.role == LEADER]
+    assert len(leaders) == 1
+    assert group.leader_id() == leaders[0].id
+    # The timeline recorded the election and the win, in that order.
+    kinds = [kind for _, kind, _, _ in group.events]
+    assert kinds[0] == "election" and "leader" in kinds
+
+
+def test_commands_replicate_to_every_replica():
+    engine, group, physical = build_group()
+    client = group.make_client()
+    addr = submit(engine, client, ("alloc_segment", 0, 4096, 42))
+    assert addr == physical.nodes[0].grants[42][0][0]
+    epoch = submit(engine, client, ("membership_set", 1, DRAINING))
+    assert physical.membership.state(1) == DRAINING
+    assert physical.membership.epoch == epoch
+    engine.run()  # quiesce: every replica catches up before parking
+    for replica in group.replicas:
+        assert replica.commit == len(replica.log)
+        assert replica.state.nodes[0].grants[42] == [(addr, 4096)]
+        assert replica.state.membership.state(1) == DRAINING
+
+
+def test_marker_errors_reraise_locally():
+    engine, group, _ = build_group()
+    client = group.make_client()
+    submit(engine, client, ("membership_set", 1, DRAINING))
+    with pytest.raises(StaleEpoch):
+        submit(engine, client, ("alloc_segment", 1, 4096, 1))
+    with pytest.raises(OutOfMemoryError):
+        submit(engine, client, ("alloc_segment", 0, 4 * MB, 1))
+
+
+def test_session_dedup_answers_without_reapplying():
+    state = MetadataState(MembershipTable([0]))
+    state.adopt_node(SegmentState(0, 0, MB))
+    first = state.apply_entry(5, 1, ("alloc_segment", 0, 4096, 9))
+    again = state.apply_entry(5, 1, ("alloc_segment", 0, 4096, 9))
+    assert first == again
+    assert state.nodes[0].grants[9] == [(first, 4096)]  # applied once
+    # A later seq from the same session applies normally.
+    second = state.apply_entry(5, 2, ("alloc_segment", 0, 4096, 9))
+    assert second != first
+
+
+def test_clone_isolates_replica_state():
+    state = MetadataState(MembershipTable([0]))
+    state.adopt_node(SegmentState(0, 0, MB))
+    copy = state.clone()
+    copy.apply_entry(1, 1, ("alloc_segment", 0, 4096, 9))
+    copy.membership.set_state(0, DRAINING)
+    assert state.nodes[0].grants == {}
+    assert state.membership.state(0) == ACTIVE
+
+
+def test_followers_redirect_to_the_leader():
+    engine, group, _ = build_group()
+    engine.run(until=5_000)
+    leader = group.leader_id()
+    client = group.make_client()
+    # Force the first probe at a follower: the redirect must still land the
+    # command on the leader within one submission.
+    client.leader_hint = None
+    client._probe = (leader + 1) % group.n
+    submit(engine, client, ("alloc_segment", 0, 4096, 1))
+    assert client.leader_hint == leader
+
+
+def test_leader_crash_fails_over_and_dedup_survives_retries():
+    engine = Engine()
+    injector = FaultInjector(engine)
+    membership = MembershipTable([0])
+    physical = MetadataState(membership)
+    physical.adopt_node(SegmentState(0, 0, 4 * MB))
+    group = ControllerGroup(engine, physical, 3, 7, faults=injector)
+    engine.run(until=5_000)
+    old = group.leader_id()
+    injector.load(
+        FaultPlan(controller_crashes=(ControllerCrash(old, 0.0, 8_000.0),)),
+        offset_us=engine.now,
+    )
+    client = group.make_client()
+    addr = engine.run_process(client.submit(("alloc_segment", 0, 4096, 3)))
+    assert group.leader_id() != old
+    # Exactly one grant despite any timed-out-and-retried submissions.
+    assert physical.nodes[0].grants[3] == [(addr, 4096)]
+    engine.run(until=engine.now + 20_000)  # crash window ends; replica rejoins
+    engine.run()
+    terms = {r.term for r in group.replicas}
+    logs = {tuple(r.log) for r in group.replicas}
+    assert len(terms) == 1 and len(logs) == 1
+
+
+def test_partitioned_minority_cannot_commit():
+    engine = Engine()
+    injector = FaultInjector(engine)
+    membership = MembershipTable([0])
+    physical = MetadataState(membership)
+    physical.adopt_node(SegmentState(0, 0, 4 * MB))
+    params = RaftParams(max_submit_attempts=6)
+    group = ControllerGroup(engine, physical, 3, 7, params=params,
+                            faults=injector)
+    engine.run(until=5_000)
+    # Split every replica into its own singleton group: nobody can reach a
+    # majority, so no command may commit, no matter which replica takes it.
+    injector.load(
+        FaultPlan(partitions=(
+            Partition(0.0, 1e9, groups=((0,), (1,), (2,))),
+        )),
+        offset_us=engine.now,
+    )
+    client = group.make_client()
+    with pytest.raises(ConsensusUnavailable):
+        engine.run_process(client.submit(("alloc_segment", 0, 4096, 1)))
+    assert physical.nodes[0].grants == {}
+
+
+def test_majority_side_elects_and_serves_during_partition():
+    engine = Engine()
+    injector = FaultInjector(engine)
+    physical = MetadataState(MembershipTable([0]))
+    physical.adopt_node(SegmentState(0, 0, 4 * MB))
+    group = ControllerGroup(engine, physical, 3, 7, faults=injector)
+    engine.run(until=5_000)
+    old = group.leader_id()
+    others = tuple(i for i in range(3) if i != old)
+    injector.load(
+        FaultPlan(partitions=(Partition(0.0, 50_000.0, groups=((old,), others)),)),
+        offset_us=engine.now,
+    )
+    client = group.make_client()
+    addr = engine.run_process(client.submit(("alloc_segment", 0, 4096, 6)))
+    assert group.leader_id() in others
+    assert physical.nodes[0].grants[6] == [(addr, 4096)]
+    engine.run(until=engine.now + 100_000)  # heal
+    engine.run()
+    assert len({tuple(r.log) for r in group.replicas}) == 1
+
+
+def test_parking_lets_a_bare_run_drain():
+    engine, group, _ = build_group()
+    client = group.make_client()
+    submit(engine, client, ("alloc_segment", 0, 4096, 1))
+    engine.run()  # would spin forever if heartbeats never parked
+    assert all(r.parked for r in group.replicas)
+    # A later submission un-parks the group and still commits.
+    result = submit(engine, client, ("list_segments", 0, 1))
+    assert result == [(0, 4096)]
+    engine.run()
+    assert all(r.parked for r in group.replicas)
+
+
+def test_single_replica_group_commits_immediately():
+    engine, group, physical = build_group(n_replicas=1)
+    client = group.make_client()
+    addr = submit(engine, client, ("alloc_segment", 0, 4096, 2))
+    assert physical.nodes[0].grants[2] == [(addr, 4096)]
+    engine.run()
+
+
+def test_timeline_is_deterministic_and_seed_sensitive():
+    def timeline(seed):
+        engine, group, _ = build_group(seed=seed)
+        engine.run(until=20_000)
+        client = group.make_client()
+        submit(engine, client, ("alloc_segment", 0, 4096, 1))
+        engine.run()
+        return group.election_timeline(), list(group.commit_times)
+
+    assert timeline(13) == timeline(13)
+    assert timeline(13) != timeline(14)
+
+
+def test_add_node_command_grows_every_replica():
+    engine, group, physical = build_group(nodes=1)
+    client = group.make_client()
+    epoch = submit(engine, client, ("add_node", 1, 10 * MB, 12 * MB))
+    assert physical.membership.state(1) == ACTIVE
+    assert physical.membership.epoch == epoch
+    engine.run()
+    for replica in group.replicas:
+        assert replica.state.nodes[1].next_free == 10 * MB
+        assert replica.state.membership.state(1) == ACTIVE

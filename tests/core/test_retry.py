@@ -1,0 +1,61 @@
+"""Unit tests for the shared backoff schedule (repro.core.retry)."""
+
+import random
+
+import pytest
+
+from repro.core.retry import backoff_us
+
+
+def test_disabled_base_returns_zero_without_rng():
+    assert backoff_us(1, base=0.0) == 0.0
+    assert backoff_us(5, base=-1.0, ceiling=100.0, jitter=0.5) == 0.0
+
+
+def test_exponential_doubling():
+    assert backoff_us(1, base=20.0) == 20.0
+    assert backoff_us(2, base=20.0) == 40.0
+    assert backoff_us(5, base=20.0) == 320.0
+
+
+def test_ceiling_clamps():
+    assert backoff_us(10, base=20.0, ceiling=2_000.0) == 2_000.0
+    # A ceiling of 0 means "no ceiling".
+    assert backoff_us(10, base=20.0, ceiling=0.0) == 20.0 * 2**9
+
+
+def test_jitter_draws_exactly_once():
+    rng = random.Random(42)
+    expected_factor = 1.0 + 0.5 * random.Random(42).random()
+    delay = backoff_us(1, base=20.0, jitter=0.5, rng=rng)
+    assert delay == pytest.approx(20.0 * expected_factor)
+    # Exactly one draw consumed: the rng's next value is a fresh seed's second.
+    fresh = random.Random(42)
+    fresh.random()
+    assert rng.random() == fresh.random()
+
+
+def test_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        backoff_us(1, base=20.0, jitter=0.5)
+
+
+def test_no_jitter_leaves_rng_untouched():
+    rng = random.Random(7)
+    backoff_us(3, base=20.0, ceiling=2_000.0, jitter=0.0, rng=rng)
+    assert rng.random() == random.Random(7).random()
+
+
+def test_matches_client_backoff_formula():
+    """The helper reproduces DittoClient._backoff_us byte-for-byte."""
+    base, ceiling, jitter = 20.0, 2_000.0, 0.5
+    for attempt in range(1, 12):
+        rng_a = random.Random(99)
+        rng_b = random.Random(99)
+        delay = base * (2 ** (attempt - 1))
+        if ceiling > 0.0 and delay > ceiling:
+            delay = ceiling
+        delay *= 1.0 + jitter * rng_a.random()
+        assert backoff_us(
+            attempt, base=base, ceiling=ceiling, jitter=jitter, rng=rng_b
+        ) == pytest.approx(delay)

@@ -1,0 +1,144 @@
+"""Property test: FaultPlan serialization round-trips exactly.
+
+Fault plans are cache-key material and travel through JSON (experiment
+manifests, the CI chaos job); ``from_dict(json(to_dict(plan)))`` must be the
+identity for every constructible plan — including the controller-HA fault
+types, whose nested partition groups JSON turns into lists.  ``shifted``
+must compose additively and preserve window lengths.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.faults import (
+    ClientCrash,
+    ControllerCrash,
+    DropWindow,
+    FaultPlan,
+    LatencySpike,
+    NodeOutage,
+    Partition,
+    RpcFailure,
+)
+
+# Times as non-negative multiples of 0.5 us: exact in binary floating point,
+# so shifting and equality stay bit-precise.
+times = st.integers(min_value=0, max_value=2_000_000).map(lambda n: n / 2.0)
+node_ids = st.one_of(st.none(), st.integers(min_value=0, max_value=7))
+verbs = st.one_of(
+    st.none(),
+    st.lists(
+        st.sampled_from(["read", "write", "cas", "faa", "rpc"]),
+        min_size=1, max_size=3, unique=True,
+    ).map(tuple),
+)
+probs = st.integers(min_value=0, max_value=100).map(lambda n: n / 100.0)
+
+
+@st.composite
+def windows(draw):
+    start = draw(times)
+    length = draw(times)
+    return start, start + length
+
+
+@st.composite
+def drop_windows(draw):
+    start, end = draw(windows())
+    return DropWindow(start, end, prob=draw(probs), node_id=draw(node_ids),
+                      verbs=draw(verbs))
+
+
+@st.composite
+def latency_spikes(draw):
+    start, end = draw(windows())
+    return LatencySpike(start, end, extra_us=draw(times),
+                        node_id=draw(node_ids), verbs=draw(verbs))
+
+
+@st.composite
+def node_outages(draw):
+    start, end = draw(windows())
+    return NodeOutage(draw(st.integers(0, 7)), start, end)
+
+
+@st.composite
+def rpc_failures(draw):
+    start, end = draw(windows())
+    return RpcFailure(start, end, prob=draw(probs), node_id=draw(node_ids))
+
+
+@st.composite
+def client_crashes(draw):
+    return ClientCrash(draw(st.integers(0, 15)), draw(times))
+
+
+@st.composite
+def controller_crashes(draw):
+    start, end = draw(windows())
+    return ControllerCrash(draw(st.integers(0, 6)), start, end)
+
+
+@st.composite
+def partitions(draw):
+    start, end = draw(windows())
+    replicas = draw(
+        st.lists(st.integers(0, 6), min_size=0, max_size=5, unique=True)
+    )
+    n_groups = draw(st.integers(min_value=0, max_value=max(len(replicas), 1)))
+    groups = [[] for _ in range(n_groups)]
+    for index, rid in enumerate(replicas):
+        if groups:
+            groups[index % n_groups].append(rid)
+    return Partition(start, end, groups=tuple(tuple(g) for g in groups))
+
+
+@st.composite
+def fault_plans(draw):
+    few = dict(min_size=0, max_size=3)
+    return FaultPlan(
+        drops=tuple(draw(st.lists(drop_windows(), **few))),
+        spikes=tuple(draw(st.lists(latency_spikes(), **few))),
+        outages=tuple(draw(st.lists(node_outages(), **few))),
+        rpc_failures=tuple(draw(st.lists(rpc_failures(), **few))),
+        client_crashes=tuple(draw(st.lists(client_crashes(), **few))),
+        controller_crashes=tuple(draw(st.lists(controller_crashes(), **few))),
+        partitions=tuple(draw(st.lists(partitions(), **few))),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_to_dict_json_from_dict_is_identity(plan):
+    wire = json.loads(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_dict(wire) == plan
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=fault_plans(), a=times, b=times)
+def test_shifted_composes_and_round_trips(plan, a, b):
+    assert plan.shifted(0.0) == plan
+    assert plan.shifted(a).shifted(b) == plan.shifted(a + b)
+    wire = json.loads(json.dumps(plan.shifted(a).to_dict()))
+    assert FaultPlan.from_dict(wire) == plan.shifted(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=fault_plans(), offset=times)
+def test_shifted_preserves_window_lengths_and_empty(plan, offset):
+    moved = plan.shifted(offset)
+    assert moved.empty == plan.empty
+    for name in ("drops", "spikes", "outages", "rpc_failures",
+                 "controller_crashes", "partitions"):
+        for before, after in zip(getattr(plan, name), getattr(moved, name)):
+            assert after.end_us - after.start_us == pytest.approx(
+                before.end_us - before.start_us
+            )
+    for before, after in zip(plan.client_crashes, moved.client_crashes):
+        assert after.at_us == before.at_us + offset
+        assert after.client_index == before.client_index
