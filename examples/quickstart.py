@@ -12,8 +12,10 @@ from repro import DittoCache
 
 def main() -> None:
     # A cache sized for 1024 objects of ~256 bytes, two client threads, the
-    # paper's default adaptive experts (LRU + LFU).
-    cache = DittoCache(capacity_objects=1024, object_bytes=256, num_clients=2)
+    # paper's default adaptive experts (LRU + LFU).  max_capacity_objects
+    # provisions the elastic ceiling so resize() below can grow the pool.
+    cache = DittoCache(capacity_objects=1024, object_bytes=256, num_clients=2,
+                       max_capacity_objects=4096)
 
     # Basic operations.
     cache.set("user:42", b"{'name': 'alice', 'plan': 'pro'}")

@@ -27,6 +27,7 @@ from ..obs.observer import Observability, activate, deactivate
 from .experiments import (
     extra_controller_failover,
     extra_elasticity_churn,
+    extra_failover_timeline,
     extra_fault_recovery,
     extra_history_size,
     extra_sample_size,
@@ -78,6 +79,7 @@ EXPERIMENTS = {
     "extra-faults": extra_fault_recovery,
     "extra-elasticity-churn": extra_elasticity_churn,
     "extra-controller-failover": extra_controller_failover,
+    "extra-failover-timeline": extra_failover_timeline,
 }
 
 

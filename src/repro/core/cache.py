@@ -16,8 +16,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..memory import (
-    BLOCK_SIZE,
-    ClientAllocator,
     Controller,
     MemoryBudget,
     MemoryNode,
@@ -27,7 +25,7 @@ from ..memory import (
 from ..obs.observer import Observability
 from ..obs.observer import current as obs_current
 from ..rdma.params import NetworkParams
-from ..rdma.verbs import RdmaFaultError
+from ..rdma.verbs import RdmaEndpoint, RdmaFaultError
 from ..sim import CounterSet, Engine, Timeout
 from ..sim.faults import FaultInjector, FaultPlan
 from .adaptive import GlobalWeights
@@ -44,9 +42,8 @@ from .elasticity import (
     MigrationRecord,
     Migrator,
 )
-from .history import HISTORY_ENTRY_BYTES, RemoteFifoHistory
-from .layout import DittoLayout, object_span
-from .policies import make_policy
+from .geometry import ext_schema, plan_cluster
+from .history import RemoteFifoHistory
 
 
 class DittoCluster:
@@ -77,10 +74,6 @@ class DittoCluster:
         table, history counter, and expert weights live on node 0 and the
         object heap stripes across all nodes, spreading data-path verbs over
         every node's NIC (the paper's multi-MN compatibility, §5.1)."""
-        if num_memory_nodes < 1:
-            raise ValueError("need at least one memory node")
-        if capacity_objects < 1:
-            raise ValueError("capacity must be at least one object")
         self.engine = engine or Engine()
         self.config = config or DittoConfig()
         self.params = params or NetworkParams()
@@ -111,57 +104,38 @@ class DittoCluster:
         self.capacity_objects = capacity_objects
         self.object_bytes = object_bytes
 
-        # Extension metadata schema: union of the experts' ext fields.
-        self.ext_fields: Tuple[str, ...] = self._ext_schema(self.config.policies)
-
-        # Cache budget: capacity in bytes at the configured object size.
-        est_span = object_span(0, object_bytes, 8 * len(self.ext_fields))
-        self.block_bytes_per_object = (
-            ClientAllocator.blocks_for(est_span) * BLOCK_SIZE
+        # Memory geometry: the plan is the single source of truth shared
+        # with the real-process substrate (repro.core.geometry) — both
+        # substrates must resolve addresses identically.
+        plan = plan_cluster(
+            capacity_objects, object_bytes, num_clients,
+            config=self.config, num_memory_nodes=num_memory_nodes,
+            segment_bytes=segment_bytes,
+            max_capacity_objects=max_capacity_objects,
         )
-        self.budget = MemoryBudget(capacity_objects * self.block_bytes_per_object)
+        self.ext_fields: Tuple[str, ...] = plan.ext_fields
+        self.block_bytes_per_object = plan.block_bytes_per_object
+        self.budget = MemoryBudget(plan.budget_bytes)
+        self.max_capacity_objects = plan.max_capacity_objects
+        self.layout = plan.layout
+        self.history_size = plan.history_size
 
-        self.max_capacity_objects = max_capacity_objects or capacity_objects
-        if self.max_capacity_objects < capacity_objects:
-            raise ValueError("max_capacity_objects below initial capacity")
-
-        # Hash-table geometry: slot_factor slots per cached object so live
-        # objects plus unexpired history entries fit comfortably, sized for
-        # the provisioned maximum so memory can grow without re-hashing.
-        total_slots = max(
-            int(self.max_capacity_objects * self.config.slot_factor),
-            2 * DittoLayout.SLOTS_PER_BUCKET,
-        )
-        num_buckets = -(-total_slots // DittoLayout.SLOTS_PER_BUCKET)
-        self.layout = DittoLayout(base=0, num_buckets=num_buckets)
-        self.history_size = self.config.history_size or capacity_objects
-
-        reserve = self.layout.reserved_bytes
+        reserve = plan.reserve
         self.remote_history: Optional[RemoteFifoHistory] = None
         if not self.config.use_lwh:
-            self.remote_history = RemoteFifoHistory(reserve, self.history_size)
-            reserve += 8 + self.history_size * HISTORY_ENTRY_BYTES
+            self.remote_history = RemoteFifoHistory(
+                plan.layout.reserved_bytes, self.history_size
+            )
 
-        # Heap: provisioned-maximum bytes plus slack for in-flight segments
-        # and size-class fragmentation, split across the memory nodes.
-        heap_bytes = (
-            2 * self.max_capacity_objects * self.block_bytes_per_object
-            + 2 * max(num_clients, 1) * segment_bytes
-            + (1 << 20)
-        )
-        heap_per_node = -(-heap_bytes // num_memory_nodes)
-        self._heap_per_node = heap_per_node
+        self._heap_per_node = plan.heap_per_node
         self.nodes = []
-        base = 0
-        for node_id in range(num_memory_nodes):
-            size = heap_per_node + (reserve if node_id == 0 else 0)
+        for node_id, node_base, size in plan.node_ranges:
             node = MemoryNode(
-                self.engine, size=size, base=base, node_id=node_id,
+                self.engine, size=size, base=node_base, node_id=node_id,
                 params=self.params,
             )
             Controller(node, cores=1, reserve=reserve if node_id == 0 else 0)
             self.nodes.append(node)
-            base += size
         self.node = self.nodes[0]
         self.pool = MemoryPool(self.nodes)
         self.controller = self.node.controller
@@ -169,7 +143,7 @@ class DittoCluster:
         #: High-water mark of the global address space: a node added later
         #: gets a fresh range above everything ever provisioned, so retired
         #: ranges are never reused and a stale pointer stays detectable.
-        self._addr_high = base
+        self._addr_high = self.nodes[-1].end
         self._next_node_id = num_memory_nodes
         #: Membership table + epoch fence, created by the first membership
         #: change (``_ensure_elastic``).  Until then both stay None and all
@@ -254,14 +228,26 @@ class DittoCluster:
 
         self.global_weights.on_update = on_update
 
-    @staticmethod
-    def _ext_schema(policy_names) -> Tuple[str, ...]:
-        fields: List[str] = []
-        for name in policy_names:
-            for field in make_policy(name).ext_fields:
-                if field not in fields:
-                    fields.append(field)
-        return tuple(fields)
+    #: Back-compat alias; the schema lives in :mod:`repro.core.geometry`.
+    _ext_schema = staticmethod(ext_schema)
+
+    def make_endpoint(self, client) -> "RdmaEndpoint":
+        """Build the verb transport for one client — the substrate seam.
+
+        The sim cluster hands out :class:`~repro.rdma.verbs.RdmaEndpoint`s
+        over its memory pool; :class:`repro.runtime.cluster.RealCluster`
+        overrides this same hook with socket/shared-memory endpoints, and
+        :class:`~repro.core.client.DittoClient` never knows the difference
+        (DESIGN §3.7).
+        """
+        return RdmaEndpoint(
+            self.engine,
+            self.pool,
+            self.params,
+            counters=self.counters,
+            faults=self.fault_injector,
+            tracer=client.tracer,
+        )
 
     # -- elasticity knobs --------------------------------------------------
 
@@ -431,6 +417,12 @@ class DittoCluster:
         metadata = MetadataState(self.membership)
         for node in self.nodes:
             metadata.adopt_node(node.controller.state)
+        # The adaptive expert weights are metadata too: adopting the live
+        # GlobalWeights by reference makes the physical state machine fold
+        # committed "update_weights" entries into the same object the
+        # node-0 RPC handler serves, while replicas carry their own copies
+        # — a leader crash no longer loses the learned weights.
+        metadata.adopt_weights(self.global_weights)
         self._metadata = metadata
         self.consensus = ControllerGroup(
             self.engine, metadata, replicas, self.seed,

@@ -34,7 +34,6 @@ from ..memory import ClientAllocator, OutOfMemoryError, StripedAllocator
 from ..memory.node import BLOCK_SIZE
 from ..rdma.verbs import (
     NodeUnavailable,
-    RdmaEndpoint,
     RdmaFaultError,
     StaleEpoch,
 )
@@ -131,14 +130,9 @@ class DittoClient:
         else:
             self._hist_get = None
             self._hist_set = None
-        self.ep = RdmaEndpoint(
-            self.engine,
-            cluster.pool,
-            cluster.params,
-            counters=cluster.counters,
-            faults=getattr(cluster, "fault_injector", None),
-            tracer=self.tracer,
-        )
+        # The substrate seam: the cluster decides whether verbs run against
+        # the sim engine (RdmaEndpoint) or live processes (RealEndpoint).
+        self.ep = cluster.make_endpoint(self)
         self.alloc = StripedAllocator(
             self.ep, cluster.nodes, cluster.segment_bytes, owner=client_id
         )
@@ -421,9 +415,17 @@ class DittoClient:
         self.regrets += 1
         if self.weights.apply_regret(expert_bitmap, age):
             sums = self.weights.take_pending()
-            new_weights = yield from self.ep.rpc(
-                self.node, "update_weights", sums, size=8 * len(sums)
-            )
+            if self.ep.consensus is not None:
+                # Controller HA: fold the penalty sums through the
+                # replicated log so the learned weights survive a leader
+                # crash (the session memo keeps retried folds exactly-once).
+                new_weights = yield from self.ep.consensus.submit(
+                    ("update_weights", tuple(sums))
+                )
+            else:
+                new_weights = yield from self.ep.rpc(
+                    self.node, "update_weights", sums, size=8 * len(sums)
+                )
             self.weights.set_weights(new_weights)
 
     # ------------------------------------------------------------------

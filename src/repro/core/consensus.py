@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 from ..memory.controller import OutOfMemoryError, SegmentState
 from ..rdma.verbs import RdmaFaultError, StaleEpoch
 from ..sim import Engine, Event, Timeout
+from .adaptive import GlobalWeights
 from .elasticity import ACTIVE, DRAINING, MembershipTable
 from .retry import backoff_us
 
@@ -128,9 +129,18 @@ class MetadataState:
         self.nodes: Dict[int, SegmentState] = {}
         #: session id -> (last applied seq, its result) — dedup memo.
         self.sessions: Dict[int, Tuple[int, object]] = {}
+        #: Replicated adaptive expert weights (None until adopted): the
+        #: physical instance shares the cluster's live GlobalWeights by
+        #: reference, replicas carry independent copies via clone().
+        self.weights: Optional[GlobalWeights] = None
 
     def adopt_node(self, state: SegmentState) -> None:
         self.nodes[state.node_id] = state
+
+    def adopt_weights(self, weights: GlobalWeights) -> None:
+        """Bind the live adaptive weights into the replicated state, so
+        committed ``update_weights`` folds survive a leader crash."""
+        self.weights = weights
 
     def clone(self) -> "MetadataState":
         new_membership = MembershipTable(())
@@ -139,6 +149,14 @@ class MetadataState:
         new = MetadataState(new_membership)
         new.nodes = {nid: state.clone() for nid, state in self.nodes.items()}
         new.sessions = dict(self.sessions)
+        if self.weights is not None:
+            # Replica copies fold the same command stream but carry no
+            # observability hook; only the physical instance publishes.
+            copy = GlobalWeights(
+                self.weights.num_experts, self.weights.learning_rate
+            )
+            copy.weights = list(self.weights.weights)
+            new.weights = copy
         return new
 
     # -- command application -------------------------------------------------
@@ -179,6 +197,12 @@ class MetadataState:
             return self.nodes[node_id].reassign(from_owner, to_owner)
         if kind == "get_membership":
             return self.membership.snapshot()
+        if kind == "update_weights":
+            if self.weights is None:
+                raise ValueError(
+                    "update_weights committed but no GlobalWeights adopted"
+                )
+            return list(self.weights.handle_update(list(command[1])))
         if kind == "add_node":
             _, node_id, start, end = command
             if node_id not in self.nodes:

@@ -33,12 +33,18 @@ class MemoryNode:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: Optional[Engine],
         size: int,
         base: int = 0,
         node_id: int = 0,
         params: Optional[NetworkParams] = None,
+        buffer=None,
     ):
+        """``buffer`` (optional) backs the node's memory with an external
+        writable buffer — e.g. a ``multiprocessing.shared_memory`` view in
+        the real-process substrate — instead of a private bytearray.
+        ``engine=None`` builds a node with no simulated RNIC (the real
+        substrate serves verbs over sockets; rate limiting is physical)."""
         if size <= 0:
             raise ValueError("memory node size must be positive")
         self.engine = engine
@@ -47,9 +53,17 @@ class MemoryNode:
         self.size = size
         self._end = base + size  # immutable; cached for the bounds hot path
         self.params = params or NetworkParams()
-        self._memory = bytearray(size)
-        #: The node's RNIC: a serial message pipe shared by all clients.
-        self.nic = RateLimiter(engine)
+        if buffer is None:
+            self._memory = bytearray(size)
+        else:
+            if len(buffer) < size:
+                raise ValueError(
+                    f"external buffer holds {len(buffer)} bytes, need {size}"
+                )
+            self._memory = memoryview(buffer)[:size]
+        #: The node's RNIC: a serial message pipe shared by all clients
+        #: (sim substrate only).
+        self.nic = RateLimiter(engine) if engine is not None else None
         #: Attached controller (set by Controller.__init__); weak compute.
         self.controller = None
 

@@ -1,0 +1,91 @@
+"""The verb-level transport interface shared by both substrates.
+
+Everything above this line — :class:`~repro.core.client.DittoClient`, the
+allocators, the migrator, crash recovery, the consensus client — speaks one
+narrow surface: *verbs as generators*.  A verb generator yields opaque
+commands its substrate knows how to execute and returns the verb's result;
+callers compose them with ``yield from`` and never look at the yielded
+commands.  That discipline is what lets the very same client code run on
+two substrates:
+
+* the **sim substrate** (:class:`~repro.rdma.verbs.RdmaEndpoint`) yields
+  :class:`~repro.sim.Timeout` commands against the discrete-event engine,
+  with NIC queueing and verb latency fully cost-modelled;
+* the **real substrate** (:class:`~repro.runtime.client.RealEndpoint`)
+  yields awaitables that an asyncio driver executes against live
+  memory-node processes over sockets and ``multiprocessing.shared_memory``.
+
+The contract every implementation must honour (DESIGN §3.7):
+
+* ``read``/``write``/``cas``/``faa`` address one global byte-addressable
+  space; CAS/FAA act on little-endian 8-byte words and return the *old*
+  value (CAS succeeded iff old == expected; FAA wraps mod 2^64).
+* ``rpc(node, op, payload)`` invokes a named controller operation on one
+  memory node and returns its result; controller-side errors surface as
+  the same exception types on both substrates
+  (:class:`~repro.memory.controller.OutOfMemoryError`,
+  :class:`~repro.rdma.verbs.StaleEpoch`).
+* Failures surface *inside* the generator at the yield point —
+  :class:`~repro.rdma.verbs.VerbTimeout` for a lost completion,
+  :class:`~repro.rdma.verbs.NodeUnavailable` for a dead node — so client
+  retry machinery is substrate-blind.
+* The ``fence`` slot holds an :class:`~repro.core.elasticity.EpochFence`
+  (or None); verbs check it client-side *before* address resolution and
+  NACK with :class:`~repro.rdma.verbs.StaleEpoch`.
+* The ``consensus`` slot holds a
+  :class:`~repro.core.consensus.GroupClient` (or None) for routing
+  metadata commands through a replicated controller group.
+* ``post_write``/``post_faa`` are fire-and-forget: spawned on the
+  substrate's engine, with injected faults and fence NACKs swallowed.
+
+``charge`` (timing-only NIC accounting for cost-modelled baselines) and
+``read_burst`` doorbell batching are sim-substrate extras, not part of the
+portable contract — portable code must not rely on them.
+
+Clusters hand out transports via ``cluster.make_endpoint(client)``, the
+single seam where the substrate is chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+
+class VerbTransport:
+    """Abstract verb surface; see the module docstring for the contract.
+
+    Implementations also expose ``engine`` (an object with ``now``/``_now``
+    in microseconds and ``spawn(generator)``), ``counters`` (a
+    :class:`~repro.sim.CounterSet`), and the mutable ``fence``/``tracer``/
+    ``consensus`` slots.
+    """
+
+    __slots__ = ()
+
+    def read(self, addr: int, length: int) -> Generator:
+        """READ: returns ``length`` bytes from remote memory."""
+        raise NotImplementedError
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        """WRITE: stores ``data`` at ``addr``."""
+        raise NotImplementedError
+
+    def cas(self, addr: int, expected: int, new: int) -> Generator:
+        """CAS on an 8-byte word; returns the old value."""
+        raise NotImplementedError
+
+    def faa(self, addr: int, delta: int) -> Generator:
+        """FAA on an 8-byte word (mod 2^64); returns the old value."""
+        raise NotImplementedError
+
+    def rpc(self, node, op: str, payload=None, size: int = 64) -> Generator:
+        """Invoke controller operation ``op`` on ``node``; returns its result."""
+        raise NotImplementedError
+
+    def post_write(self, addr: int, data: bytes):
+        """Fire-and-forget WRITE; returns the spawned background handle."""
+        raise NotImplementedError
+
+    def post_faa(self, addr: int, delta: int):
+        """Fire-and-forget FAA; returns the spawned background handle."""
+        raise NotImplementedError

@@ -26,6 +26,7 @@ from ..memory.node import MemoryNode, MemoryPool
 from ..sim import CounterSet, Engine, Process, Timeout
 from ..sim.faults import DROP, OK, FaultInjector
 from .params import NetworkParams
+from .transport import VerbTransport
 
 _COUNTER_KEYS = {
     verb: f"rdma_{verb}" for verb in ("read", "write", "cas", "faa", "rpc")
@@ -67,8 +68,12 @@ class StaleEpoch(RdmaFaultError):
         self.epoch = epoch
 
 
-class RdmaEndpoint:
-    """A client-side RDMA endpoint (one per simulated client thread)."""
+class RdmaEndpoint(VerbTransport):
+    """A client-side RDMA endpoint (one per simulated client thread).
+
+    The sim implementation of :class:`~repro.rdma.transport.VerbTransport`:
+    every verb's timing is cost-modelled against the discrete-event engine.
+    """
 
     __slots__ = (
         "engine",

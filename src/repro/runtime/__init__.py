@@ -1,0 +1,41 @@
+"""The real-process substrate (DESIGN §3.7).
+
+Runs the *same* :class:`~repro.core.client.DittoClient`, allocator,
+controller, and memory-node code as the simulator, but on live operating-
+system processes: each memory node is a separate process whose heap is a
+``multiprocessing.shared_memory`` segment, verbs travel as length-prefixed
+frames over loopback sockets served by a single-threaded asyncio loop (so
+CAS/FAA linearize by construction, like the NIC serialization point in the
+sim), and clients drive their verb generators with an asyncio driver that
+maps sim commands onto awaitables.
+
+Layout:
+
+- :mod:`.wire` — framed wire protocol (opcodes, request-id multiplexing);
+- :mod:`.server` — the memory-node server process
+  (``python -m repro.runtime.server``);
+- :mod:`.client` — :class:`WallClockRuntime`, :class:`RealEndpoint`, and
+  the :func:`drive` generator driver;
+- :mod:`.cluster` — :class:`RealCluster`, the client-side deployment
+  façade that :class:`~repro.core.client.DittoClient` plugs into;
+- :mod:`.harness` — :class:`RealClusterHarness`, spawning and reaping
+  node processes with leak accounting;
+- :mod:`.loadgen` — concurrent load generator with wall-clock latency
+  histograms (``python -m repro.runtime.loadgen``);
+- :mod:`.validate` — the sim-vs-real throughput-ordering harness
+  (``python -m repro.runtime.validate``).
+
+``python -m repro.serve`` is the user-facing launcher over all of this.
+"""
+
+from .client import RealEndpoint, WallClockRuntime, drive
+from .cluster import RealCluster
+from .harness import RealClusterHarness
+
+__all__ = [
+    "RealCluster",
+    "RealClusterHarness",
+    "RealEndpoint",
+    "WallClockRuntime",
+    "drive",
+]

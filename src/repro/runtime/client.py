@@ -1,0 +1,432 @@
+"""Client side of the real substrate: endpoint, connections, and driver.
+
+The portable layers (:class:`~repro.core.client.DittoClient`, allocators,
+recovery) are written as generators that ``yield`` commands to their
+substrate.  On the sim substrate every command is a
+:class:`~repro.sim.Timeout` executed by the discrete-event engine; here
+the commands are either Timeouts (client backoff — mapped onto
+``asyncio.sleep``) or *coroutine objects* produced by
+:class:`RealEndpoint` verbs, awaited by :func:`drive` against live
+memory-node processes.  Failures are thrown back *into* the generator at
+the yield point as the very same exception types the sim raises
+(:class:`~repro.rdma.verbs.VerbTimeout`,
+:class:`~repro.rdma.verbs.NodeUnavailable`, ...), so the client's retry
+machinery cannot tell the substrates apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import time
+from multiprocessing import shared_memory
+from typing import Dict, Generator, List, Optional
+
+from ..memory.controller import OutOfMemoryError
+from ..memory.node import MemoryAccessError
+from ..rdma.transport import VerbTransport
+from ..rdma.verbs import NodeUnavailable, StaleEpoch, VerbTimeout
+from ..sim import CounterSet, Timeout
+from . import wire
+
+#: Default per-verb wall-clock timeout.  Generous: loopback sockets
+#: complete in microseconds; this only bounds a wedged server.
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class WallClockRuntime:
+    """The real substrate's 'engine': wall-clock time + asyncio tasks.
+
+    Presents the engine facets portable code actually touches — ``now`` /
+    ``_now`` in microseconds and ``spawn(generator)`` — so
+    :class:`~repro.core.client.DittoClient` timestamps and fire-and-forget
+    posts work unchanged.  Time is wall-clock microseconds since runtime
+    construction (the sim measures microseconds since engine start).
+    """
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+        self._background = set()
+
+    @property
+    def now(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    # The hot paths read engine._now directly; same clock here.
+    _now = now
+
+    def spawn(self, gen: Generator, name: str = "") -> asyncio.Task:
+        """Run a verb generator as a background task (unsignalled posts)."""
+        task = asyncio.get_running_loop().create_task(drive(gen), name=name)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+        return task
+
+    async def drain_background(self, timeout_s: float = 10.0) -> int:
+        """Await outstanding background posts; returns how many remained."""
+        pending = [t for t in self._background if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout_s)
+        return len(pending)
+
+
+async def drive(gen: Generator, runtime: Optional[WallClockRuntime] = None):
+    """Drive one verb-layer generator to completion on asyncio.
+
+    The real-substrate counterpart of ``Engine.run_process``: Timeouts
+    sleep on the wall clock, endpoint coroutines are awaited, and any
+    failure is thrown into the generator at its yield point.
+    """
+    value = None
+    error: Optional[BaseException] = None
+    while True:
+        try:
+            if error is not None:
+                exc, error = error, None
+                command = gen.throw(exc)
+            else:
+                command = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+        value = None
+        if isinstance(command, Timeout):
+            await asyncio.sleep(command.delay / 1e6)
+        elif asyncio.iscoroutine(command):
+            try:
+                value = await command
+            except Exception as exc:  # surfaced inside the generator
+                error = exc
+        else:
+            raise RuntimeError(
+                f"the real substrate cannot execute {command!r}; only "
+                "Timeout and endpoint awaitables are portable (DESIGN §3.7)"
+            )
+
+
+class NodeHandle:
+    """Client-side stand-in for a remote memory node.
+
+    Quacks enough like :class:`~repro.memory.node.MemoryNode` for the
+    portable layers — ``node_id``/``base``/``end``/``contains`` for
+    address routing — plus the endpoint coordinates (host, port) and the
+    heap's shared-memory name for the optional direct-read fast path.
+    """
+
+    __slots__ = ("node_id", "base", "size", "host", "port", "shm", "_seg")
+
+    def __init__(self, node_id: int, base: int, size: int, host: str,
+                 port: int, shm: str = ""):
+        self.node_id = node_id
+        self.base = base
+        self.size = size
+        self.host = host
+        self.port = port
+        self.shm = shm
+        self._seg: Optional[shared_memory.SharedMemory] = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    # -- direct shared-memory reads (optional fast path) ------------------
+
+    def attach(self) -> None:
+        """Map the node's heap read-only into this process."""
+        if self._seg is None and self.shm:
+            self._seg = shared_memory.SharedMemory(name=self.shm)
+
+    def read_direct(self, addr: int, length: int) -> bytes:
+        off = addr - self.base
+        return bytes(self._seg.buf[off : off + length])
+
+    def detach(self) -> None:
+        if self._seg is not None:
+            self._seg.close()  # never unlink: the server owns the segment
+            self._seg = None
+
+    def as_dict(self) -> Dict:
+        return {
+            "node_id": self.node_id, "base": self.base, "size": self.size,
+            "host": self.host, "port": self.port, "shm": self.shm,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "NodeHandle":
+        return cls(data["node_id"], data["base"], data["size"],
+                   data["host"], data["port"], data.get("shm", ""))
+
+
+class Connection:
+    """One multiplexed stream to a memory node.
+
+    Requests carry per-connection ids; a single reader task resolves
+    response futures in arrival order, so a client's foreground op and its
+    fire-and-forget posts can share the stream with requests in flight
+    concurrently.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._broken: Optional[BaseException] = None
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await wire.read_frame(self._reader)
+                req_id, status = wire.RESP.unpack_from(frame)
+                future = self._pending.pop(req_id, None)
+                if future is not None and not future.done():
+                    future.set_result((status, frame[wire.RESP.size :]))
+        except (wire.IncompleteReadError, ConnectionError, OSError) as exc:
+            self._fail(exc)
+        except asyncio.CancelledError:
+            self._fail(ConnectionResetError("connection closed"))
+            raise
+
+    def _fail(self, exc: BaseException) -> None:
+        self._broken = exc
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionResetError(str(exc)))
+        self._pending.clear()
+
+    async def request(self, op: int, body: bytes, timeout_s: float):
+        """Send one request; returns ``(status, payload)``.
+
+        Raises TimeoutError on expiry (the late response, if any, is
+        dropped by the reader) and ConnectionResetError on a dead peer.
+        """
+        if self._broken is not None:
+            raise ConnectionResetError(str(self._broken))
+        self._next_id += 1
+        req_id = self._next_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self._writer.write(wire.request_frame(op, req_id, body))
+        await self._writer.drain()
+        try:
+            return await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            self._pending.pop(req_id, None)
+            raise
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class RealEndpoint(VerbTransport):
+    """Verb transport over sockets + shared memory (one per client).
+
+    Mirrors :class:`~repro.rdma.verbs.RdmaEndpoint` behind the
+    :class:`~repro.rdma.transport.VerbTransport` contract: verbs are
+    generators, fence checks happen client-side before the request is
+    issued, and failures surface as the sim's exception types.  With
+    ``shm_reads`` enabled, READs that hit an attached node bypass the
+    socket and copy straight out of the shared-memory heap ("direct
+    shared-memory access where safe": reads tolerate the benign torn-read
+    race because object decoding and fingerprints already reject garbage;
+    atomics always go through the node's serialization point).
+    """
+
+    __slots__ = (
+        "engine", "nodes", "counters", "tracer", "fence", "consensus",
+        "timeout_s", "shm_reads", "_conns", "_single_node",
+    )
+
+    def __init__(
+        self,
+        engine: WallClockRuntime,
+        nodes: List[NodeHandle],
+        counters: Optional[CounterSet] = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        shm_reads: bool = False,
+    ):
+        self.engine = engine
+        self.nodes = list(nodes)
+        self.counters = counters if counters is not None else CounterSet()
+        self.tracer = None
+        self.fence = None
+        self.consensus = None
+        self.timeout_s = timeout_s
+        self.shm_reads = shm_reads
+        self._conns: Dict[int, Connection] = {}
+        self._single_node = nodes[0] if len(nodes) == 1 else None
+        if shm_reads:
+            for node in self.nodes:
+                node.attach()
+
+    def _node_for(self, addr: int, length: int) -> NodeHandle:
+        node = self._single_node
+        if node is not None and node.contains(addr, length):
+            return node
+        for node in self.nodes:
+            if node.contains(addr, length):
+                return node
+        raise MemoryAccessError(f"address {addr} not in any memory node")
+
+    # -- the socket round trip --------------------------------------------
+
+    async def _connect(self, node: NodeHandle) -> Connection:
+        conn = self._conns.get(node.node_id)
+        if conn is not None and conn._broken is None:
+            return conn
+        try:
+            reader, writer = await asyncio.open_connection(
+                node.host, node.port
+            )
+        except (ConnectionError, OSError) as exc:
+            raise NodeUnavailable(
+                f"node {node.node_id} is unreachable ({exc})",
+                node_id=node.node_id,
+            ) from exc
+        conn = Connection(reader, writer)
+        self._conns[node.node_id] = conn
+        return conn
+
+    async def _roundtrip(self, node: NodeHandle, verb: str, op: int,
+                         body: bytes) -> bytes:
+        conn = await self._connect(node)
+        try:
+            status, payload = await conn.request(op, body, self.timeout_s)
+        except asyncio.TimeoutError:
+            self.counters.add("fault_verb_timeout")
+            raise VerbTimeout(
+                f"{verb} to node {node.node_id} timed out after "
+                f"{self.timeout_s}s",
+                verb=verb, node_id=node.node_id,
+            ) from None
+        except (ConnectionError, OSError) as exc:
+            self.counters.add("fault_node_unavailable")
+            raise NodeUnavailable(
+                f"node {node.node_id} is unreachable ({verb}: {exc})",
+                verb=verb, node_id=node.node_id,
+            ) from exc
+        if status == wire.ST_OK:
+            return payload
+        if status == wire.ST_ACCESS:
+            raise MemoryAccessError(pickle.loads(payload))
+        if status == wire.ST_OOM:
+            raise OutOfMemoryError(pickle.loads(payload))
+        if status == wire.ST_STALE:
+            message, node_id, epoch = pickle.loads(payload)
+            raise StaleEpoch(message, verb=verb, node_id=node_id, epoch=epoch)
+        name, message = pickle.loads(payload)
+        raise RuntimeError(f"node {node.node_id} {verb} failed: "
+                           f"{name}: {message}")
+
+    # -- verbs (generators, same surface as RdmaEndpoint) -----------------
+
+    def read(self, addr: int, length: int) -> Generator:
+        if self.fence is not None:
+            self.fence.check_read(addr, "read", -1)
+        node = self._node_for(addr, length)
+        self.counters.add("rdma_read")
+        if self.shm_reads and node._seg is not None:
+            self.counters.add("shm_direct_read")
+            return node.read_direct(addr, length)
+        payload = yield self._roundtrip(
+            node, "read", wire.OP_READ, wire.READ_BODY.pack(addr, length)
+        )
+        return payload
+
+    def write(self, addr: int, data: bytes) -> Generator:
+        if self.fence is not None:
+            self.fence.check_write(addr, "write", -1)
+        node = self._node_for(addr, len(data))
+        self.counters.add("rdma_write")
+        yield self._roundtrip(
+            node, "write", wire.OP_WRITE,
+            wire.WRITE_HDR.pack(addr) + bytes(data),
+        )
+
+    def cas(self, addr: int, expected: int, new: int) -> Generator:
+        if self.fence is not None:
+            self.fence.check_write(addr, "cas", -1)
+        node = self._node_for(addr, 8)
+        self.counters.add("rdma_cas")
+        payload = yield self._roundtrip(
+            node, "cas", wire.OP_CAS,
+            wire.CAS_BODY.pack(
+                addr, expected & 0xFFFFFFFFFFFFFFFF, new & 0xFFFFFFFFFFFFFFFF
+            ),
+        )
+        return wire.U64.unpack(payload)[0]
+
+    def faa(self, addr: int, delta: int) -> Generator:
+        if self.fence is not None:
+            self.fence.check_write(addr, "faa", -1)
+        node = self._node_for(addr, 8)
+        self.counters.add("rdma_faa")
+        payload = yield self._roundtrip(
+            node, "faa", wire.OP_FAA, wire.FAA_BODY.pack(addr, delta)
+        )
+        return wire.U64.unpack(payload)[0]
+
+    def read_burst(self, addr: int, length: int, count: int) -> Generator:
+        """No doorbell batching over sockets; serve the burst as reads."""
+        data = b""
+        for _ in range(max(count, 1)):
+            data = yield from self.read(addr, length)
+        return data
+
+    def rpc(self, node: NodeHandle, op: str, payload=None,
+            size: int = 64) -> Generator:
+        """Controller RPC; ``size`` (a sim cost-model hint) is ignored."""
+        if self.fence is not None:
+            self.fence.check_rpc(node.node_id, "rpc")
+        self.counters.add("rdma_rpc")
+        raw = yield self._roundtrip(
+            node, f"rpc:{op}", wire.OP_RPC, wire.pack_rpc(op, payload)
+        )
+        return pickle.loads(raw)
+
+    # -- asynchronous (unsignalled) posts ---------------------------------
+
+    def _post_safely(self, gen: Generator) -> Generator:
+        from ..rdma.verbs import RdmaFaultError
+
+        try:
+            yield from gen
+        except StaleEpoch:
+            self.counters.add("fenced_post_dropped")
+        except RdmaFaultError:
+            self.counters.add("fault_post_dropped")
+
+    def post_write(self, addr: int, data: bytes):
+        return self.engine.spawn(
+            self._post_safely(self.write(addr, data)), name="post_write"
+        )
+
+    def post_faa(self, addr: int, delta: int):
+        return self.engine.spawn(
+            self._post_safely(self.faa(addr, delta)), name="post_faa"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def aclose(self) -> None:
+        for conn in self._conns.values():
+            await conn.close()
+        self._conns.clear()
+        if self.shm_reads:
+            for node in self.nodes:
+                node.detach()

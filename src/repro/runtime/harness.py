@@ -1,0 +1,230 @@
+"""Launch and reap a real-substrate cluster: N memory-node processes.
+
+:class:`RealClusterHarness` is the deployment counterpart of
+:class:`~repro.core.cache.DittoCluster.__init__`: it sizes the cluster
+with the shared geometry plan (:mod:`repro.core.geometry`), spawns one
+``python -m repro.runtime.server`` process per memory node (node 0 with
+the reserve for fixed structures plus the global-weights and membership
+handlers), collects each server's ready line for its port and shared-
+memory name, and produces the *descriptor* dict a
+:class:`~repro.runtime.cluster.RealCluster` (in this or any other
+process) builds from.
+
+Shutdown is part of the contract, not an afterthought: ``shutdown()``
+sends every node a clean OP_SHUTDOWN, escalates to SIGTERM/SIGKILL on
+stragglers, and :meth:`leak_report` verifies zero leftover child
+processes and zero leftover shared-memory segments — the assertion the CI
+smoke job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+import uuid
+from typing import Dict, List, Optional
+
+from ..core.config import DittoConfig
+from ..core.geometry import plan_cluster
+from . import wire
+from .server import shm_name
+
+_READY_PREFIX = "DITTO-NODE "
+_READY_TIMEOUT_S = 30.0
+
+
+def _shm_dir() -> str:
+    return "/dev/shm" if os.path.isdir("/dev/shm") else ""
+
+
+class RealClusterHarness:
+    """Owns the server processes of one real-substrate deployment."""
+
+    def __init__(
+        self,
+        capacity_objects: int = 4096,
+        object_bytes: int = 256,
+        num_clients: int = 16,
+        num_memory_nodes: int = 1,
+        segment_bytes: int = 256 * 1024,
+        max_capacity_objects: Optional[int] = None,
+        seed: int = 0,
+        run_id: Optional[str] = None,
+        **config_kwargs,
+    ):
+        self.config = DittoConfig(**config_kwargs)
+        self.plan = plan_cluster(
+            capacity_objects, object_bytes, num_clients,
+            config=self.config, num_memory_nodes=num_memory_nodes,
+            segment_bytes=segment_bytes,
+            max_capacity_objects=max_capacity_objects,
+        )
+        self.seed = seed
+        self.run_id = run_id or uuid.uuid4().hex[:8]
+        self.num_clients = num_clients
+        self.procs: List[subprocess.Popen] = []
+        self.node_entries: List[Dict] = []
+        self._config_kwargs = dict(config_kwargs)
+        self._shut_down = False
+
+    # -- launch ------------------------------------------------------------
+
+    def launch(self, timeout_s: float = _READY_TIMEOUT_S) -> Dict:
+        """Spawn the node servers; returns the cluster descriptor."""
+        if self.procs:
+            raise RuntimeError("harness already launched")
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        )))
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        membership = ",".join(
+            str(node_id) for node_id, _b, _s in self.plan.node_ranges
+        )
+        try:
+            for node_id, base, size in self.plan.node_ranges:
+                argv = [
+                    sys.executable, "-m", "repro.runtime.server",
+                    "--node-id", str(node_id),
+                    "--base", str(base),
+                    "--size", str(size),
+                    "--run-id", self.run_id,
+                ]
+                if node_id == 0:
+                    argv += [
+                        "--reserve", str(self.plan.reserve),
+                        "--experts", str(len(self.config.policies)),
+                        "--learning-rate", str(self.config.learning_rate),
+                        "--membership", membership,
+                    ]
+                proc = subprocess.Popen(
+                    argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                    env=env, text=True,
+                )
+                self.procs.append(proc)
+            for proc, (node_id, base, size) in zip(
+                self.procs, self.plan.node_ranges
+            ):
+                entry = self._await_ready(proc, node_id, timeout_s)
+                self.node_entries.append(entry)
+        except Exception:
+            self.shutdown()
+            raise
+        return self.descriptor()
+
+    def _await_ready(self, proc, node_id: int, timeout_s: float) -> Dict:
+        deadline = time.monotonic() + timeout_s
+        line = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if line.startswith(_READY_PREFIX):
+                break
+            if proc.poll() is not None:
+                stderr = proc.stderr.read()
+                raise RuntimeError(
+                    f"memory-node {node_id} exited with "
+                    f"{proc.returncode} before readiness:\n{stderr}"
+                )
+        else:
+            raise TimeoutError(f"memory-node {node_id} never became ready")
+        fields = dict(
+            part.split("=", 1) for part in line[len(_READY_PREFIX):].split()
+        )
+        return {
+            "node_id": int(fields["node_id"]),
+            "base": int(fields["base"]),
+            "size": int(fields["size"]),
+            "host": "127.0.0.1",
+            "port": int(fields["port"]),
+            "shm": fields["shm"],
+        }
+
+    def descriptor(self) -> Dict:
+        """Everything a client process needs to join this cluster."""
+        return {
+            "run_id": self.run_id,
+            "capacity_objects": self.plan.capacity_objects,
+            "max_capacity_objects": self.plan.max_capacity_objects,
+            "object_bytes": self.plan.object_bytes,
+            "segment_bytes": self.plan.segment_bytes,
+            "num_clients": self.num_clients,
+            "seed": self.seed,
+            "config": {
+                "policies": list(self.config.policies),
+                **self._config_kwargs,
+            },
+            "nodes": list(self.node_entries),
+        }
+
+    def write_descriptor(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.descriptor(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # -- shutdown and leak accounting --------------------------------------
+
+    def _send_shutdown(self, entry: Dict, timeout_s: float = 5.0) -> bool:
+        try:
+            with socket.create_connection(
+                (entry["host"], entry["port"]), timeout=timeout_s
+            ) as sock:
+                sock.settimeout(timeout_s)
+                sock.sendall(wire.request_frame(wire.OP_SHUTDOWN, 1))
+                header = sock.recv(wire.HEADER.size)
+                return len(header) == wire.HEADER.size
+        except OSError:
+            return False
+
+    def shutdown(self, timeout_s: float = 10.0) -> None:
+        """Stop every node: clean request first, signals for stragglers."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for entry in self.node_entries:
+            self._send_shutdown(entry)
+        deadline = time.monotonic() + timeout_s
+        for proc in self.procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        for proc in self.procs:
+            # Release the pipe fds now rather than at GC time.
+            if proc.stdout:
+                proc.stdout.close()
+            if proc.stderr:
+                proc.stderr.close()
+
+    def leak_report(self) -> Dict:
+        """Post-shutdown accounting: processes and shm segments left over."""
+        live = [proc.pid for proc in self.procs if proc.poll() is None]
+        leaked_shm = []
+        shm_dir = _shm_dir()
+        for node_id, _base, _size in self.plan.node_ranges:
+            name = shm_name(self.run_id, node_id)
+            if shm_dir and os.path.exists(os.path.join(shm_dir, name)):
+                leaked_shm.append(name)
+        return {
+            "live_processes": live,
+            "leaked_shm": leaked_shm,
+            "clean": not live and not leaked_shm,
+        }
+
+    def __enter__(self) -> "RealClusterHarness":
+        self.launch()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,257 @@
+"""The real-substrate memory-node server process.
+
+One process per memory node (``python -m repro.runtime.server``): the
+node's heap is a ``multiprocessing.shared_memory`` segment, verbs arrive
+as :mod:`repro.runtime.wire` frames over a loopback TCP listener, and the
+very same :class:`~repro.memory.node.MemoryNode` byte/atomic methods and
+:class:`~repro.memory.controller.SegmentState` machine that back the sim
+substrate execute them.  The server loop is single-threaded asyncio and
+memory operations contain no await points, so CAS/FAA from any number of
+connections linearize by construction — the same serialization point the
+sim models with the NIC pipe.
+
+Node 0 additionally hosts the cluster-level metadata handlers (the
+adaptive ``update_weights`` fold and ``get_membership``), mirroring the
+sim cluster where node 0 carries the hash table and global structures.
+
+Lifecycle: the parent (``repro.runtime.harness``) spawns this module,
+reads the ``DITTO-NODE ...`` ready line for the bound port and shared-
+memory name, and later sends ``OP_SHUTDOWN`` (or SIGTERM).  The shared-
+memory segment is always unlinked on the way out — leak-free shutdown is
+part of the CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pickle
+import signal
+import sys
+from multiprocessing import shared_memory
+
+from ..core.adaptive import GlobalWeights
+from ..core.elasticity import ACTIVE
+from ..memory.controller import OutOfMemoryError, SegmentState
+from ..memory.node import MemoryAccessError, MemoryNode
+from ..rdma.verbs import StaleEpoch
+from . import wire
+
+
+def shm_name(run_id: str, node_id: int) -> str:
+    return f"ditto-{run_id}-mn{node_id}"
+
+
+class NodeServer:
+    """One memory node served over sockets + shared memory."""
+
+    def __init__(
+        self,
+        node_id: int,
+        base: int,
+        size: int,
+        reserve: int = 0,
+        run_id: str = "dev",
+        num_experts: int = 0,
+        learning_rate: float = 0.1,
+        membership: tuple = (),
+    ):
+        self.node_id = node_id
+        self.run_id = run_id
+        self.shm = shared_memory.SharedMemory(
+            name=shm_name(run_id, node_id), create=True, size=size
+        )
+        self.node = MemoryNode(
+            None, size=size, base=base, node_id=node_id, buffer=self.shm.buf
+        )
+        self.segments = SegmentState(node_id, base + reserve, base + size)
+        self.weights = (
+            GlobalWeights(num_experts, learning_rate) if num_experts else None
+        )
+        #: Static membership advertised by get_membership (node 0 only);
+        #: the real substrate does not yet run elastic node changes.
+        self.membership = tuple(membership)
+        self._stop = asyncio.Event()
+        self._server = None
+        self.ops_served = 0
+
+    # -- RPC handlers (mirror Controller's registered operations) ---------
+
+    def _rpc(self, op: str, payload):
+        seg = self.segments
+        if op == "alloc_segment":
+            if seg.draining:
+                raise StaleEpoch(
+                    f"node {self.node_id} is draining at epoch {seg.epoch}: "
+                    "no new segment grants",
+                    verb="rpc", node_id=self.node_id, epoch=seg.epoch,
+                )
+            if isinstance(payload, tuple):
+                size, owner = payload
+            else:
+                size, owner = payload, -1
+            return seg.alloc(size, owner)
+        if op == "free_segment":
+            addr, size = payload
+            return seg.free(addr, size)
+        if op == "list_segments":
+            return seg.list_owner(payload)
+        if op == "reassign_grants":
+            from_owner, to_owner = payload
+            return seg.reassign(from_owner, to_owner)
+        if op == "update_weights":
+            if self.weights is None:
+                raise KeyError(
+                    f"node {self.node_id} does not host the global weights"
+                )
+            return self.weights.handle_update(list(payload))
+        if op == "get_membership":
+            if not self.membership:
+                raise KeyError(
+                    f"node {self.node_id} does not host the membership table"
+                )
+            return (0, tuple((nid, ACTIVE) for nid in self.membership))
+        raise KeyError(f"no RPC handler registered for {op!r}")
+
+    # -- frame dispatch ----------------------------------------------------
+
+    def _serve_data(self, op: int, body: bytes):
+        node = self.node
+        if op == wire.OP_READ:
+            addr, length = wire.READ_BODY.unpack(body)
+            return wire.ST_OK, node.read_bytes(addr, length)
+        if op == wire.OP_WRITE:
+            (addr,) = wire.WRITE_HDR.unpack_from(body)
+            node.write_bytes(addr, body[wire.WRITE_HDR.size :])
+            return wire.ST_OK, b""
+        if op == wire.OP_CAS:
+            addr, expected, new = wire.CAS_BODY.unpack(body)
+            return wire.ST_OK, wire.U64.pack(
+                node.compare_and_swap(addr, expected, new)
+            )
+        if op == wire.OP_FAA:
+            addr, delta = wire.FAA_BODY.unpack(body)
+            return wire.ST_OK, wire.U64.pack(node.fetch_and_add(addr, delta))
+        if op == wire.OP_PING:
+            return wire.ST_OK, b""
+        raise ValueError(f"unknown opcode {op}")
+
+    async def _serve_rpc(self, body: bytes):
+        op_name, payload = wire.unpack_rpc(body)
+        if op_name == "__sleep__":
+            # Debug/test handler: a stalled controller (timeout surfacing).
+            await asyncio.sleep(float(payload))
+            return wire.ST_OK, pickle.dumps(None)
+        try:
+            result = self._rpc(op_name, payload)
+        except OutOfMemoryError as err:
+            return wire.ST_OOM, pickle.dumps(str(err))
+        except StaleEpoch as err:
+            return wire.ST_STALE, pickle.dumps(
+                (str(err), err.node_id, err.epoch)
+            )
+        return wire.ST_OK, pickle.dumps(result)
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                op, req_id = wire.REQ.unpack_from(frame)
+                body = frame[wire.REQ.size :]
+                self.ops_served += 1
+                if op == wire.OP_SHUTDOWN:
+                    writer.write(wire.response_frame(req_id, wire.ST_OK))
+                    await writer.drain()
+                    self._stop.set()
+                    break
+                try:
+                    if op == wire.OP_RPC:
+                        status, out = await self._serve_rpc(body)
+                    else:
+                        status, out = self._serve_data(op, body)
+                except MemoryAccessError as err:
+                    status, out = wire.ST_ACCESS, pickle.dumps(str(err))
+                except Exception as err:  # noqa: BLE001 — must not kill the loop
+                    status, out = wire.ST_ERROR, pickle.dumps(
+                        (type(err).__name__, str(err))
+                    )
+                writer.write(wire.response_frame(req_id, status, out))
+                await writer.drain()
+        except (wire.IncompleteReadError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to clean up per-connection
+        finally:
+            writer.close()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def run(self, announce=print) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        announce(
+            f"DITTO-NODE node_id={self.node_id} port={port} "
+            f"shm={self.shm.name} base={self.node.base} size={self.node.size}"
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            self.close()
+
+    def close(self) -> None:
+        """Release the heap; idempotent, and always unlinks the segment."""
+        if self.shm is None:
+            return
+        self.node._memory.release()
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+        self.shm = None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Ditto real-substrate memory-node server"
+    )
+    parser.add_argument("--node-id", type=int, required=True)
+    parser.add_argument("--base", type=int, required=True)
+    parser.add_argument("--size", type=int, required=True)
+    parser.add_argument("--reserve", type=int, default=0)
+    parser.add_argument("--run-id", default="dev")
+    parser.add_argument("--experts", type=int, default=0,
+                        help="host the global adaptive weights (node 0)")
+    parser.add_argument("--learning-rate", type=float, default=0.1)
+    parser.add_argument("--membership", default="",
+                        help="comma-separated node ids to advertise")
+    args = parser.parse_args(argv)
+    membership = tuple(
+        int(part) for part in args.membership.split(",") if part != ""
+    )
+    server = NodeServer(
+        args.node_id, args.base, args.size, reserve=args.reserve,
+        run_id=args.run_id, num_experts=args.experts,
+        learning_rate=args.learning_rate, membership=membership,
+    )
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        asyncio.run(server.run(announce=announce))
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""Sim-vs-real validation: do throughput *orderings* agree?
+
+The simulator is not calibrated to this machine — its microsecond costs
+come from the paper's CX-5 testbed — so absolute throughputs will not
+match a laptop running loopback TCP.  What must transfer is the *shape*:
+if the sim says configuration A outperforms B outperforms C, the real
+substrate has to rank them the same way, or the sim's conclusions about
+design points cannot be trusted.
+
+This harness runs the same closed-loop Zipfian workload on both
+substrates across a set of configurations that vary client concurrency
+and value size, ranks each substrate's throughputs, and asserts the
+rankings are identical.  Both sides execute the *same*
+:class:`~repro.core.client.DittoClient` code — only the endpoint behind
+the verb layer differs — so an ordering disagreement localizes to the
+substrate model, not the caching logic.
+
+CLI::
+
+    python -m repro.runtime.validate            # full run, ~30 s
+    python -m repro.runtime.validate --ops 2000 # quicker smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..bench.runner import READ, UPDATE, Feed, Harness, preload
+from ..bench.systems import build_ditto
+from ..workloads import ZipfianGenerator
+from .harness import RealClusterHarness
+from .loadgen import run_load
+
+#: Configurations chosen so the expected ordering is robust on both
+#: substrates: the axis is the read/write mix.  A Get costs two verbs
+#: (index lookup + data read) while a Set costs several (data write, CAS
+#: index insert, list maintenance), so throughput falls monotonically
+#: with the write fraction whether each verb is a simulated NIC
+#: transaction or a loopback socket round trip.  Concurrency is *not* a
+#: portable axis — the real single-threaded node servers saturate — so
+#: every config keeps the same client count and geometry.
+CONFIGS = (
+    {"name": "read-hot", "read_ratio": 0.95},
+    {"name": "mixed", "read_ratio": 0.50},
+    {"name": "write-heavy", "read_ratio": 0.05},
+)
+
+_CLIENTS = 8
+_VALUE_BYTES = 232
+_CAPACITY = 2048
+_N_KEYS = 1500
+_THETA = 0.99
+_NUM_MEMORY_NODES = 2
+_SEED = 11
+
+
+def _zipf_feed(ops: int, seed: int, read_ratio: float) -> Feed:
+    """Zipfian request stream with the given read fraction, the sim twin
+    of the real load generator's per-client loop (misses are filled by
+    the driver)."""
+    keys = ZipfianGenerator(_N_KEYS, theta=_THETA, seed=seed).sample(ops)
+    rng = np.random.default_rng(seed)
+    op_codes = np.where(
+        rng.random(ops) < read_ratio, READ, UPDATE
+    ).astype(np.int8)
+    return Feed(op_codes, keys.astype(np.int64))
+
+
+def sim_throughput(
+    config: Dict, warm_us: float = 20_000.0, window_us: float = 60_000.0
+) -> float:
+    """Measured sim throughput (Mops) for one configuration."""
+    cluster = build_ditto(
+        _CAPACITY,
+        _CLIENTS,
+        num_memory_nodes=_NUM_MEMORY_NODES,
+        seed=_SEED,
+    )
+    preload(
+        cluster.engine, cluster.clients, range(_N_KEYS // 2),
+        value_size=_VALUE_BYTES,
+    )
+    harness = Harness(cluster.engine, value_size=_VALUE_BYTES)
+    feeds = [
+        _zipf_feed(20_000, _SEED * 1_000_003 + i, config["read_ratio"])
+        for i in range(len(cluster.clients))
+    ]
+    harness.launch_all(cluster.clients, feeds)
+    harness.warm(warm_us)
+    measured = harness.measure(window_us)
+    harness.stop_all()
+    return measured.throughput_mops
+
+
+def real_throughput(config: Dict, ops: int = 6000) -> float:
+    """Measured real-substrate throughput (ops/s) for one configuration."""
+    harness = RealClusterHarness(
+        capacity_objects=_CAPACITY,
+        num_clients=_CLIENTS,
+        num_memory_nodes=_NUM_MEMORY_NODES,
+        seed=_SEED,
+    )
+    try:
+        descriptor = harness.launch()
+        report = asyncio.run(run_load(
+            descriptor,
+            clients=_CLIENTS,
+            ops=ops,
+            n_keys=_N_KEYS,
+            theta=_THETA,
+            read_ratio=config["read_ratio"],
+            value_bytes=_VALUE_BYTES,
+            preload=_N_KEYS // 2,
+            seed=_SEED,
+        ))
+    finally:
+        harness.shutdown()
+    leak = harness.leak_report()
+    if not leak["clean"]:
+        raise RuntimeError(f"cluster shutdown leaked: {leak}")
+    if report["failed_ops"]:
+        raise RuntimeError(
+            f"{report['failed_ops']} operations failed under config "
+            f"{config['name']}; refusing to rank a degraded run"
+        )
+    return report["ops_per_s"]
+
+
+def _ranking(throughputs: Dict[str, float]) -> List[str]:
+    """Config names from fastest to slowest."""
+    return sorted(throughputs, key=throughputs.__getitem__, reverse=True)
+
+
+def run_validation(
+    ops: int = 6000, configs=CONFIGS, progress=None
+) -> Dict:
+    """Run every config on both substrates; returns the comparison."""
+    say = progress if progress is not None else (lambda _msg: None)
+    sim: Dict[str, float] = {}
+    real: Dict[str, float] = {}
+    for config in configs:
+        say(f"[sim ] {config['name']} ...")
+        sim[config["name"]] = sim_throughput(config)
+        say(f"[sim ] {config['name']}: {sim[config['name']]:.4f} Mops")
+    for config in configs:
+        say(f"[real] {config['name']} ...")
+        real[config["name"]] = real_throughput(config, ops=ops)
+        say(f"[real] {config['name']}: {real[config['name']]:.0f} ops/s")
+    sim_order = _ranking(sim)
+    real_order = _ranking(real)
+    return {
+        "configs": [dict(c) for c in configs],
+        "sim_mops": sim,
+        "real_ops_per_s": real,
+        "sim_ordering": sim_order,
+        "real_ordering": real_order,
+        "orderings_agree": sim_order == real_order,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assert sim and real-substrate throughput orderings agree"
+    )
+    parser.add_argument("--ops", type=int, default=6000,
+                        help="real-substrate ops per configuration")
+    parser.add_argument("--json", default="",
+                        help="also write the comparison to this path")
+    args = parser.parse_args(argv)
+    result = run_validation(ops=args.ops, progress=print)
+    print()
+    print(f"{'config':<10} {'sim Mops':>10} {'real ops/s':>12}")
+    for config in result["configs"]:
+        name = config["name"]
+        print(f"{name:<10} {result['sim_mops'][name]:>10.4f} "
+              f"{result['real_ops_per_s'][name]:>12.0f}")
+    print()
+    print(f"sim ordering : {' > '.join(result['sim_ordering'])}")
+    print(f"real ordering: {' > '.join(result['real_ordering'])}")
+    verdict = "AGREE" if result["orderings_agree"] else "DISAGREE"
+    print(f"orderings {verdict} across {len(result['configs'])} configs")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if result["orderings_agree"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Framed wire protocol between real-substrate clients and memory nodes.
+
+Every message is a length-prefixed frame on a loopback TCP stream::
+
+    <u32 frame length> <frame>
+
+A request frame is ``<u8 opcode> <u64 request id> <body>``; a response
+frame is ``<u64 request id> <u8 status> <body>``.  Request ids are
+per-connection and chosen by the client, so many in-flight requests can
+multiplex one stream (a client's background posts share its connection
+with the foreground op) and responses may return in any order.
+
+Verb bodies are fixed little-endian structs mirroring the RDMA verb
+shapes; RPC payloads/results are pickled (clients and servers are
+processes of the same trusted launcher — this is a test/deployment
+substrate, not an untrusted network service).
+
+Error statuses carry enough to re-raise the *same* exception types the
+sim substrate uses, keeping client retry machinery substrate-blind.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from asyncio import IncompleteReadError, StreamReader
+
+# -- opcodes ---------------------------------------------------------------
+
+OP_READ = 1
+OP_WRITE = 2
+OP_CAS = 3
+OP_FAA = 4
+OP_RPC = 5
+OP_PING = 6
+OP_SHUTDOWN = 7
+
+# -- response statuses -----------------------------------------------------
+
+ST_OK = 0
+#: Generic server-side failure; body is a pickled (type name, message).
+ST_ERROR = 1
+#: Out-of-range / misaligned memory access (MemoryAccessError).
+ST_ACCESS = 2
+#: Segment allocation failed (OutOfMemoryError).
+ST_OOM = 3
+#: Epoch-fenced NACK (StaleEpoch); body is pickled (message, node_id, epoch).
+ST_STALE = 4
+
+HEADER = struct.Struct("<I")
+REQ = struct.Struct("<BQ")
+RESP = struct.Struct("<QB")
+
+READ_BODY = struct.Struct("<QI")     # addr, length
+WRITE_HDR = struct.Struct("<Q")      # addr (data follows)
+CAS_BODY = struct.Struct("<QQQ")     # addr, expected, new
+FAA_BODY = struct.Struct("<Qq")      # addr, signed delta
+U64 = struct.Struct("<Q")
+
+MAX_FRAME = 64 * (1 << 20)
+
+
+def request_frame(op: int, req_id: int, body: bytes = b"") -> bytes:
+    frame = REQ.pack(op, req_id) + body
+    return HEADER.pack(len(frame)) + frame
+
+
+def response_frame(req_id: int, status: int, body: bytes = b"") -> bytes:
+    frame = RESP.pack(req_id, status) + body
+    return HEADER.pack(len(frame)) + frame
+
+
+def pack_rpc(op_name: str, payload) -> bytes:
+    name = op_name.encode("utf-8")
+    return bytes((len(name),)) + name + pickle.dumps(payload)
+
+
+def unpack_rpc(body: bytes):
+    name_len = body[0]
+    op_name = body[1 : 1 + name_len].decode("utf-8")
+    payload = pickle.loads(body[1 + name_len :])
+    return op_name, payload
+
+
+async def read_frame(reader: StreamReader) -> bytes:
+    """Read one frame; raises IncompleteReadError on a clean/ dirty EOF."""
+    header = await reader.readexactly(HEADER.size)
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"oversized frame: {length} bytes")
+    return await reader.readexactly(length)
+
+
+__all__ = [
+    "OP_READ", "OP_WRITE", "OP_CAS", "OP_FAA", "OP_RPC", "OP_PING",
+    "OP_SHUTDOWN",
+    "ST_OK", "ST_ERROR", "ST_ACCESS", "ST_OOM", "ST_STALE",
+    "HEADER", "REQ", "RESP",
+    "READ_BODY", "WRITE_HDR", "CAS_BODY", "FAA_BODY", "U64",
+    "request_frame", "response_frame", "pack_rpc", "unpack_rpc",
+    "read_frame", "IncompleteReadError",
+]

@@ -11,6 +11,7 @@ def test_registry_covers_every_figure():
         "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab02",
         "extra-samples", "extra-history", "extra-faults",
         "extra-elasticity-churn", "extra-controller-failover",
+        "extra-failover-timeline",
     }
     assert set(run_all.EXPERIMENTS) == expected
 

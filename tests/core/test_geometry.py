@@ -1,0 +1,81 @@
+"""The geometry plan is the single source of truth for cluster sizing.
+
+Both substrates must compute identical layouts: the sim cluster
+(:class:`~repro.core.cache.DittoCluster`) consumes
+:func:`~repro.core.geometry.plan_cluster` directly, and the real
+substrate recomputes the same plan on the launcher *and* client sides so
+addresses agree without shipping a layout over the wire.  These tests pin
+the plan to what the built cluster actually instantiates.
+"""
+
+import pytest
+
+from repro.core.cache import DittoCluster
+from repro.core.config import DittoConfig
+from repro.core.geometry import ext_schema, plan_cluster
+
+
+def _build(num_memory_nodes=2, capacity=2048, clients=8, object_bytes=256,
+           max_capacity=None, segment_bytes=256 * 1024, **kwargs):
+    config = DittoConfig(**kwargs)
+    plan = plan_cluster(
+        capacity, object_bytes, clients, config=config,
+        num_memory_nodes=num_memory_nodes, segment_bytes=segment_bytes,
+        max_capacity_objects=max_capacity,
+    )
+    cluster = DittoCluster(
+        capacity_objects=capacity, object_bytes=object_bytes,
+        num_clients=clients, config=config,
+        num_memory_nodes=num_memory_nodes, segment_bytes=segment_bytes,
+        max_capacity_objects=max_capacity,
+    )
+    return plan, cluster
+
+
+@pytest.mark.parametrize("num_memory_nodes", [1, 2, 3])
+def test_plan_matches_built_cluster(num_memory_nodes):
+    plan, cluster = _build(num_memory_nodes=num_memory_nodes)
+    assert [(n.node_id, n.base, n.size) for n in cluster.nodes] == list(
+        plan.node_ranges
+    )
+    assert cluster.budget.limit_bytes == plan.budget_bytes
+    assert cluster.ext_fields == plan.ext_fields
+    assert cluster.history_size == plan.history_size
+    assert cluster.segment_bytes == plan.segment_bytes
+    assert cluster.block_bytes_per_object == plan.block_bytes_per_object
+    layout = cluster.layout
+    assert (layout.base, layout.num_buckets, layout.table_addr) == (
+        plan.layout.base, plan.layout.num_buckets, plan.layout.table_addr
+    )
+    # Node 0's heap starts above the fixed structures.
+    assert plan.reserve >= plan.layout.reserved_bytes
+
+
+def test_plan_is_deterministic_and_elastic_ceiling_sizes_the_table():
+    plan_a = plan_cluster(2048, 256, 8, num_memory_nodes=2)
+    plan_b = plan_cluster(2048, 256, 8, num_memory_nodes=2)
+    assert plan_a.node_ranges == plan_b.node_ranges
+    assert plan_a.layout.num_buckets == plan_b.layout.num_buckets
+    grown = plan_cluster(
+        2048, 256, 8, num_memory_nodes=2, max_capacity_objects=8192
+    )
+    assert grown.max_capacity_objects == 8192
+    assert grown.layout.num_buckets > plan_a.layout.num_buckets
+
+
+def test_ext_schema_tracks_policies():
+    # LRU/LFU live in the slot's access info; LIRS needs an ext field.
+    assert ext_schema(("lru", "lfu")) == ()
+    assert "lirs_irr" in ext_schema(("lru", "lirs"))
+    config = DittoConfig()
+    plan = plan_cluster(512, 256, 2, config=config)
+    assert plan.ext_fields == ext_schema(config.policies)
+
+
+def test_plan_rejects_degenerate_shapes():
+    with pytest.raises(ValueError):
+        plan_cluster(2048, 256, 8, num_memory_nodes=0)
+    with pytest.raises(ValueError):
+        plan_cluster(0, 256, 8)
+    with pytest.raises(ValueError):
+        plan_cluster(2048, 256, 8, max_capacity_objects=1024)

@@ -1,0 +1,92 @@
+"""Integration: launch a real 2-node cluster, drive it, reap it cleanly.
+
+These tests spawn actual ``repro.runtime.server`` processes with
+shared-memory heaps and talk to them over loopback sockets — the
+mini-cluster shape the CI smoke job uses, scaled down to stay fast.
+"""
+
+import asyncio
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.cluster import RealCluster
+from repro.runtime.harness import RealClusterHarness
+from repro.runtime.loadgen import run_load
+
+
+def test_cluster_serves_load_and_shuts_down_leak_free():
+    harness = RealClusterHarness(
+        capacity_objects=1024, num_clients=4, num_memory_nodes=2, seed=5
+    )
+    try:
+        descriptor = harness.launch()
+        report = asyncio.run(run_load(
+            descriptor, clients=4, ops=400, n_keys=300, preload=50, seed=5
+        ))
+    finally:
+        harness.shutdown()
+    assert report["ops"] >= 400
+    assert report["failed_ops"] == 0
+    assert report["hit_rate"] > 0.3
+    assert report["counters"]["rdma_read"] > 0
+    assert report["counters"]["rdma_write"] > 0
+    leak = harness.leak_report()
+    assert leak == {"live_processes": [], "leaked_shm": [], "clean": True}
+
+
+def test_shm_direct_reads_serve_gets():
+    with RealClusterHarness(
+        capacity_objects=512, num_clients=2, num_memory_nodes=1, seed=5
+    ) as harness:
+        report = asyncio.run(run_load(
+            harness.descriptor(), clients=2, ops=200, n_keys=100,
+            preload=50, seed=5, shm_reads=True,
+        ))
+    assert report["failed_ops"] == 0
+    assert report["counters"]["shm_direct_read"] > 0
+    assert harness.leak_report()["clean"]
+
+
+def test_descriptor_mismatch_is_rejected():
+    with RealClusterHarness(
+        capacity_objects=512, num_clients=2, num_memory_nodes=1, seed=5
+    ) as harness:
+        descriptor = harness.descriptor()
+        # A client that disagrees on the construction scalars must refuse
+        # to join rather than compute wrong addresses.
+        skewed = dict(
+            descriptor, capacity_objects=1024, max_capacity_objects=2048
+        )
+        with pytest.raises(ValueError, match="do not match the"):
+            RealCluster(skewed)
+
+
+def test_ablation_configs_are_sim_only():
+    descriptor = {
+        "capacity_objects": 512, "object_bytes": 256, "num_clients": 2,
+        "segment_bytes": 256 * 1024, "config": {"use_sfht": False},
+        "nodes": [],
+    }
+    with pytest.raises(ValueError, match="sim-only"):
+        RealCluster(descriptor)
+
+
+def test_serve_cli_smoke(tmp_path):
+    """The CI invocation: embedded load, clean shutdown, leak-checked."""
+    descriptor_path = tmp_path / "cluster.json"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.serve",
+            "--memory-nodes", "2", "--capacity", "1024",
+            "--clients", "4", "--load", "400", "--preload", "50",
+            "--descriptor", str(descriptor_path),
+        ],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert '"clean": true' in proc.stdout
+    descriptor = json.loads(descriptor_path.read_text())
+    assert len(descriptor["nodes"]) == 2

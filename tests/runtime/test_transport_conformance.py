@@ -1,0 +1,294 @@
+"""Transport conformance: one suite, both substrates (DESIGN §3.7).
+
+Every test here runs twice — once against the sim substrate
+(:class:`repro.rdma.verbs.RdmaEndpoint` on a discrete-event engine) and
+once against the real substrate (:class:`repro.runtime.client.RealEndpoint`
+talking to a live ``repro.runtime.server`` process over loopback sockets
+and shared memory).  The assertions are verb-level: byte semantics,
+atomic old-value returns and 64-bit wrap, controller RPC behavior, fence
+NACKs, and failure surfacing.  The portable layers above the transport
+are correct only if both substrates pass identical assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import subprocess
+import sys
+import uuid
+
+import pytest
+
+from repro.core.elasticity import EpochFence
+from repro.memory import Controller, MemoryNode, MemoryPool
+from repro.memory.controller import OutOfMemoryError
+from repro.rdma import RdmaEndpoint
+from repro.rdma.verbs import NodeUnavailable, StaleEpoch, VerbTimeout
+from repro.runtime.client import (
+    NodeHandle,
+    RealEndpoint,
+    WallClockRuntime,
+    drive,
+)
+from repro.sim import Engine
+from repro.sim.faults import (
+    DropWindow,
+    FaultInjector,
+    FaultPlan,
+    NodeOutage,
+)
+
+HEAP_SIZE = 1 << 16
+RESERVE = 4 * 1024
+SCRATCH = 64  # raw-verb playground inside the controller reserve
+
+
+class SimSubstrate:
+    name = "sim"
+
+    def __init__(self):
+        self.engine = Engine()
+        self.node = MemoryNode(self.engine, size=HEAP_SIZE)
+        Controller(self.node, cores=1, reserve=RESERVE)
+        self.injector = FaultInjector(self.engine)
+        self.ep = RdmaEndpoint(
+            self.engine, MemoryPool([self.node]), faults=self.injector
+        )
+        self.rpc_node = self.node
+
+    def run(self, gen):
+        return self.engine.run_process(gen)
+
+    def settle(self):
+        self.engine.run()
+
+    def arm_timeouts(self):
+        self.injector.load(FaultPlan(drops=(DropWindow(0.0, 1e12),)))
+
+    def make_unreachable(self):
+        self.injector.load(FaultPlan(outages=(NodeOutage(0, 0.0, 1e12),)))
+        return self.ep, self.rpc_node
+
+    def close(self):
+        pass
+
+
+class RealSubstrate:
+    name = "real"
+
+    def __init__(self):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.runtime.server",
+                "--node-id", "0", "--base", "0", "--size", str(HEAP_SIZE),
+                "--reserve", str(RESERVE),
+                "--run-id", f"conf-{uuid.uuid4().hex[:8]}",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        line = self.proc.stdout.readline()
+        assert line.startswith("DITTO-NODE "), line
+        fields = dict(part.split("=", 1) for part in line.split()[1:])
+        self.rpc_node = NodeHandle(
+            0, 0, HEAP_SIZE, "127.0.0.1", int(fields["port"]), fields["shm"]
+        )
+        self.loop = asyncio.new_event_loop()
+        self.runtime = WallClockRuntime()
+        self.ep = RealEndpoint(self.runtime, [self.rpc_node])
+
+    def run(self, gen):
+        return self.loop.run_until_complete(drive(gen))
+
+    def settle(self):
+        self.loop.run_until_complete(self.runtime.drain_background())
+
+    def arm_timeouts(self):
+        # A wedged controller: the debug RPC sleeps far past the verb
+        # timeout, so every subsequent op on this endpoint expires.
+        self.ep.timeout_s = 0.2
+
+    def make_unreachable(self):
+        # A node handle whose port nothing listens on.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        dead = NodeHandle(0, 0, HEAP_SIZE, "127.0.0.1", dead_port)
+        return RealEndpoint(self.runtime, [dead]), dead
+
+    def close(self):
+        self.loop.run_until_complete(self.ep.aclose())
+        self.loop.close()
+        self.proc.terminate()
+        self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+
+
+@pytest.fixture(params=["sim", "real"])
+def substrate(request):
+    sub = SimSubstrate() if request.param == "sim" else RealSubstrate()
+    yield sub
+    sub.close()
+
+
+def test_write_read_roundtrip(substrate):
+    ep = substrate.ep
+
+    def flow():
+        yield from ep.write(SCRATCH, b"conformance")
+        return (yield from ep.read(SCRATCH, 11))
+
+    assert substrate.run(flow()) == b"conformance"
+
+
+def test_fresh_memory_reads_as_zeros(substrate):
+    ep = substrate.ep
+
+    def flow():
+        return (yield from ep.read(SCRATCH + 256, 16))
+
+    assert substrate.run(flow()) == bytes(16)
+
+
+def test_cas_returns_old_value_and_applies_once(substrate):
+    ep = substrate.ep
+    addr = SCRATCH + 512
+
+    def flow():
+        first = yield from ep.cas(addr, 0, 7)
+        second = yield from ep.cas(addr, 0, 9)  # stale expected -> no swap
+        raw = yield from ep.read(addr, 8)
+        return first, second, int.from_bytes(raw, "little")
+
+    assert substrate.run(flow()) == (0, 7, 7)
+
+
+def test_faa_returns_old_and_wraps_mod_2_64(substrate):
+    ep = substrate.ep
+    addr = SCRATCH + 1024
+
+    def flow():
+        a = yield from ep.faa(addr, 5)
+        b = yield from ep.faa(addr, 3)
+        yield from ep.write(addr, ((1 << 64) - 1).to_bytes(8, "little"))
+        old = yield from ep.faa(addr, 2)
+        raw = yield from ep.read(addr, 8)
+        return a, b, old, int.from_bytes(raw, "little")
+
+    assert substrate.run(flow()) == (0, 5, (1 << 64) - 1, 1)
+
+
+def test_read_burst_equals_repeated_reads(substrate):
+    ep = substrate.ep
+    addr = SCRATCH + 1536
+
+    def flow():
+        yield from ep.write(addr, b"burstburst")
+        return (yield from ep.read_burst(addr, 10, 3))
+
+    assert substrate.run(flow()) == b"burstburst"
+
+
+def test_rpc_alloc_list_free_semantics(substrate):
+    ep, node = substrate.ep, substrate.rpc_node
+
+    def flow():
+        addr = yield from ep.rpc(node, "alloc_segment", (4096, 3))
+        granted = yield from ep.rpc(node, "list_segments", 3)
+        yield from ep.rpc(node, "free_segment", (addr, 4096))
+        after = yield from ep.rpc(node, "list_segments", 3)
+        return addr, list(granted), list(after)
+
+    addr, granted, after = substrate.run(flow())
+    assert addr >= RESERVE  # grants never overlap the reserved region
+    assert (addr, 4096) in granted
+    assert (addr, 4096) not in after
+
+
+def test_rpc_exhaustion_surfaces_oom(substrate):
+    ep, node = substrate.ep, substrate.rpc_node
+
+    def flow():
+        yield from ep.rpc(node, "alloc_segment", (2 * HEAP_SIZE, 3))
+
+    with pytest.raises(OutOfMemoryError):
+        substrate.run(flow())
+
+
+def test_fence_nacks_mutations_with_stale_epoch(substrate):
+    ep = substrate.ep
+    fence = EpochFence()
+    fence.advance(2)
+    fence.fence_writes(0, HEAP_SIZE, 0)
+    ep.fence = fence
+    addr = SCRATCH + 2048
+
+    def write_flow():
+        yield from ep.write(addr, b"x")
+
+    def cas_flow():
+        yield from ep.cas(addr, 0, 1)
+
+    def read_flow():
+        return (yield from ep.read(addr, 1))
+
+    for flow in (write_flow, cas_flow):
+        with pytest.raises(StaleEpoch) as err:
+            substrate.run(flow())
+        assert err.value.epoch == 2
+    # Draining fences only mutations: reads still pass ...
+    assert substrate.run(read_flow()) == b"\x00"
+    # ... until the node is retired, when everything NACKs.
+    fence.retire(0, HEAP_SIZE, 0)
+    with pytest.raises(StaleEpoch):
+        substrate.run(read_flow())
+    ep.fence = None
+
+
+def test_fenced_background_posts_are_dropped_silently(substrate):
+    ep = substrate.ep
+    fence = EpochFence()
+    fence.fence_writes(0, HEAP_SIZE, 0)
+    ep.fence = fence
+    before = ep.counters.get("fenced_post_dropped")
+
+    def flow():
+        ep.post_write(SCRATCH + 3000, b"doomed")
+        return None
+        yield  # pragma: no cover — makes this a generator
+
+    substrate.run(flow())
+    substrate.settle()
+    assert ep.counters.get("fenced_post_dropped") == before + 1
+    ep.fence = None
+
+
+def test_timeouts_surface_as_verb_timeout(substrate):
+    substrate.arm_timeouts()
+    ep, node = substrate.ep, substrate.rpc_node
+
+    if substrate.name == "real":
+        def flow():
+            yield from ep.rpc(node, "__sleep__", 5.0)
+    else:
+        def flow():
+            yield from ep.read(SCRATCH, 8)
+
+    with pytest.raises(VerbTimeout):
+        substrate.run(flow())
+
+
+def test_unreachable_node_surfaces_as_node_unavailable(substrate):
+    ep, node = substrate.make_unreachable()
+
+    def flow():
+        yield from ep.read(SCRATCH, 8)
+
+    def rpc_flow():
+        yield from ep.rpc(node, "list_segments", 0)
+
+    with pytest.raises(NodeUnavailable):
+        substrate.run(flow())
+    with pytest.raises(NodeUnavailable):
+        substrate.run(rpc_flow())
