@@ -1,0 +1,423 @@
+"""Wall-clock chaos: the sim's fault model executed against live processes.
+
+The simulator's robustness story is seed-driven and declarative: a
+:class:`~repro.sim.faults.FaultPlan` describes verb drops, latency
+spikes, and node outages, and the engine's fault injector answers point
+queries at verb-issue time.  This module brings the *same plans* to the
+real substrate:
+
+- :class:`ChaosGate` — the wall-clock twin of
+  :class:`~repro.sim.faults.FaultInjector`, armed inside each memory-node
+  server.  Plans are compiled from sim-time to wall-clock with
+  :func:`repro.sim.faults.compile_wall` and consulted per request frame:
+  a DROP swallows the request *before it executes* (the client times out
+  — the sim's drop semantics exactly), a node-outage window closes the
+  connection before executing (``NodeUnavailable``), and a latency spike
+  delays execution+response without blocking the multiplexed stream.
+
+- :func:`run_chaos` — the chaos harness: drives the standard load
+  generator under an armed plan (optionally SIGKILLing and
+  restart-adopting a memory node mid-load), then quiesces, reconciles
+  orphaned grants through the same ``list_segments`` diff crash recovery
+  uses, runs lease-repair scrubs, and finishes with the memory-accounting
+  sweep (:mod:`repro.core.invariants`) evaluated over the *real* shared-
+  memory heaps.
+
+What maps 1:1, what is approximated, and the compilation rule are
+documented in DESIGN §3.8.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core import invariants
+from ..sim.faults import (
+    DOWN,
+    DROP,
+    OK,
+    DropWindow,
+    FaultPlan,
+    NodeOutage,
+    compile_wall,
+)
+from .client import NodeHandle, drive
+from .cluster import RealCluster
+from .loadgen import run_load
+
+_INF = float("inf")
+
+#: Retry knobs the chaos loadgen overlays on the cluster config: wall-clock
+#: backoff (the sim defaults are microsecond-scale) with enough budget that
+#: a Set rides through a ~250 ms outage window or a kill/restart gap via
+#: bounded retries instead of erroring (worst-case backoff sum ~0.8 s).
+CHAOS_CLIENT_CONFIG = {
+    "fault_retries": 16,
+    "retry_backoff_us": 2_000.0,
+    "retry_backoff_max_us": 60_000.0,
+}
+
+#: Per-verb timeout under chaos.  Loopback verbs complete in micro- to
+#: milliseconds, so a timeout this much larger implies a gate drop — which
+#: is what keeps "timed out" equivalent to the sim's "never executed".
+CHAOS_TIMEOUT_S = 0.25
+
+#: The canonical drop+outage plan, authored in *sim* microseconds against
+#: a ~30 ms simulated run; :func:`compile_wall` at :data:`DEFAULT_TIME_SCALE`
+#: turns it into a ~1.3 s wall-clock schedule.  One JSON, two substrates.
+CANNED_PLAN = FaultPlan(
+    drops=(DropWindow(2_000.0, 20_000.0, prob=0.04),),
+    outages=(NodeOutage(1, 8_000.0, 13_000.0),),
+    seed=902,
+)
+
+DEFAULT_TIME_SCALE = 50.0
+
+
+class ChaosGate:
+    """A wall-clock :class:`~repro.sim.faults.FaultInjector` for one node.
+
+    Lives inside the memory-node server and is consulted once per request
+    frame, before the operation executes — so a dropped verb *never ran*,
+    exactly like a sim drop that never reached the NIC.  Time is wall-
+    clock microseconds since :meth:`arm`; the arm instant is broadcast as
+    an epoch timestamp so every node (including one restarted mid-run)
+    measures windows from the same origin.
+
+    Divergence from the sim, by necessity: the sim draws probabilistic
+    drops from one global RNG in verb-issue order; separate server
+    processes cannot share that stream, so each gate seeds its own RNG
+    from ``(plan seed, node id)``.  Drop *rates* and windows match; the
+    exact per-verb coin flips do not.
+    """
+
+    def __init__(self, plan: FaultPlan, node_id: int):
+        self.node_id = node_id
+        self.rng = random.Random(plan.seed * 1_000_003 + node_id)
+        # Controller RPC failures are verb drops scoped to "rpc", the same
+        # folding FaultInjector.load performs.
+        self._drops = plan.drops + tuple(
+            DropWindow(r.start_us, r.end_us, r.prob, r.node_id, ("rpc",))
+            for r in plan.rpc_failures
+        )
+        self._spikes = plan.spikes
+        self._outages = tuple(
+            o for o in plan.outages if o.node_id == node_id
+        )
+        windows = [
+            (w.start_us, w.end_us)
+            for w in (*self._drops, *self._spikes, *self._outages)
+        ]
+        self._active_from = min((s for s, _ in windows), default=_INF)
+        self._active_until = max((e for _, e in windows), default=-_INF)
+        self.t0: Optional[float] = None
+
+    def arm(self, t0_epoch: Optional[float] = None) -> float:
+        """Start the clock; returns the epoch origin actually used."""
+        self.t0 = time.time() if t0_epoch is None else float(t0_epoch)
+        return self.t0
+
+    def now_us(self) -> float:
+        return (time.time() - self.t0) * 1e6
+
+    def verb_outcome(self, verb: str) -> Tuple[int, float]:
+        """Fate of one verb arriving *now*: ``(OK|DROP|DOWN, extra_us)``.
+
+        Mirrors :meth:`FaultInjector.verb_outcome`, including the RNG
+        discipline (one draw per matching probabilistic verb).
+        """
+        if self.t0 is None:
+            return OK, 0.0
+        now = self.now_us()
+        if not self._active_from <= now < self._active_until:
+            return OK, 0.0
+        for outage in self._outages:
+            if outage.start_us <= now < outage.end_us:
+                return DOWN, 0.0
+        for w in self._drops:
+            if (
+                w.start_us <= now < w.end_us
+                and (w.node_id is None or w.node_id == self.node_id)
+                and (w.verbs is None or verb in w.verbs)
+                and (w.prob >= 1.0 or self.rng.random() < w.prob)
+            ):
+                return DROP, 0.0
+        extra = 0.0
+        for s in self._spikes:
+            if (
+                s.start_us <= now < s.end_us
+                and (s.node_id is None or s.node_id == self.node_id)
+                and (s.verbs is None or verb in s.verbs)
+            ):
+                extra += s.extra_us
+        return OK, extra
+
+
+# -- post-run reconciliation and the real-heap sweep -----------------------
+
+
+async def reconcile_grants(cluster: RealCluster) -> List[Tuple[int, int, int]]:
+    """Adopt grants the servers hold but no client recorded.
+
+    The same diff step 2 of crash recovery performs
+    (:meth:`repro.core.cache.DittoCluster.recover_client`): per client and
+    node, ``list_segments(owner)`` against the client's own grant records.
+    A surplus server-side grant is an alloc RPC that executed but whose
+    response was lost to a drop, reset, or SIGKILL; the client re-ran the
+    op and got a different segment.  Recording the orphan as *spare* puts
+    it back under the accounting sweep.  Returns the adopted
+    ``(client_id, addr, size)`` triples.
+    """
+    adopted: List[Tuple[int, int, int]] = []
+    for client in cluster.clients:
+        for node in cluster.nodes:
+            allocator = client.alloc.allocator_for_node(node)
+            known = set(allocator.segments)
+            granted = await drive(
+                client.ep.rpc(node, "list_segments", client.client_id)
+            )
+            for addr, size in granted:
+                if (addr, size) not in known:
+                    allocator.record_segment(addr, size)
+                    adopted.append((client.client_id, addr, size))
+    return adopted
+
+
+async def repair_sweep(cluster: RealCluster, passes: int = 2) -> int:
+    """Scrub the table for half-installed slots (lost metadata posts).
+
+    Two full scans separated by the repair lease: the first pass marks
+    suspects, the second reclaims those whose atomic word never moved.
+    Returns the number of repaired slots (counter delta).
+    """
+    scrubber = cluster.clients[0]
+    before = cluster.counters.get("lease_repair")
+    lease_s = scrubber.config.repair_lease_us / 1e6
+    for index in range(passes):
+        await drive(scrubber.repair_scan())
+        if index + 1 < passes:
+            await asyncio.sleep(2.0 * lease_s + 0.005)
+    return cluster.counters.get("lease_repair") - before
+
+
+class _SweepController:
+    def __init__(self, grants: Dict[int, list]):
+        self._grants = grants
+
+    def granted_segments(self) -> Dict[int, list]:
+        return self._grants
+
+
+class _SweepNode:
+    """Duck-typed memory node for the offline sweep: address range, the
+    grant log fetched over RPC, and (node 0 only) ``read_bytes`` served
+    straight from the attached shared-memory heap."""
+
+    def __init__(self, handle: NodeHandle, grants: Dict[int, list]):
+        self._handle = handle
+        self.node_id = handle.node_id
+        self.base = handle.base
+        self.end = handle.end
+        self.controller = _SweepController(grants)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return self._handle.read_direct(addr, length)
+
+
+class _SweepView:
+    """The cluster facets :func:`repro.core.invariants.sweep` reads."""
+
+    def __init__(self, cluster: RealCluster,
+                 grants_by_node: Dict[int, Dict[int, list]]):
+        self.clients = cluster.clients
+        self.budget = cluster.budget
+        self.layout = cluster.layout
+        self.nodes = [
+            _SweepNode(handle, grants_by_node[handle.node_id])
+            for handle in cluster.nodes
+        ]
+        self.node = self.nodes[0]
+
+
+async def sweep_real(cluster: RealCluster) -> Dict[str, int]:
+    """Run the memory-accounting sweep over the live cluster's real heaps.
+
+    Grant logs come from each node's ``granted_segments`` RPC (journal-
+    backed, so they are crash-consistent); hash-table slots are read
+    directly out of node 0's shared-memory segment.  The cluster must be
+    quiesced: loadgen finished, background posts drained, grants
+    reconciled.  Raises
+    :class:`~repro.core.invariants.InvariantViolation` on any lost grant,
+    leaked block, or budget drift.
+    """
+    ep = cluster.clients[0].ep
+    grants_by_node: Dict[int, Dict[int, list]] = {}
+    for node in cluster.nodes:
+        grants_by_node[node.node_id] = await drive(
+            ep.rpc(node, "granted_segments", None)
+        )
+    node0 = cluster.node
+    attached_here = node0._seg is None
+    node0.attach()
+    try:
+        return invariants.sweep(_SweepView(cluster, grants_by_node))
+    finally:
+        if attached_here:
+            node0.detach()
+
+
+# -- the chaos harness ------------------------------------------------------
+
+
+async def _arm_gates(cluster: RealCluster, wall_plan: FaultPlan,
+                     t0: float) -> None:
+    ep = cluster.clients[0].ep
+    payload = (wall_plan.to_dict(), t0)
+    for node in cluster.nodes:
+        await drive(ep.rpc(node, "__chaos_load__", payload))
+
+
+async def _disarm_gates(cluster: RealCluster) -> None:
+    ep = cluster.clients[0].ep
+    for node in cluster.nodes:
+        await drive(ep.rpc(node, "__chaos_stop__", None))
+
+
+async def run_chaos(
+    harness,
+    plan: FaultPlan = CANNED_PLAN,
+    *,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    clients: int = 16,
+    ops: int = 5000,
+    n_keys: int = 2000,
+    read_ratio: float = 0.95,
+    value_bytes: int = 232,
+    preload: int = 500,
+    seed: int = 7,
+    kill_node_id: Optional[int] = None,
+    kill_at_s: float = 0.8,
+    restart_after_s: float = 0.3,
+    timeout_s: float = CHAOS_TIMEOUT_S,
+) -> Dict:
+    """Drive the loadgen under ``plan`` against ``harness``'s live cluster.
+
+    The full chaos protocol: compile the sim-time plan to wall-clock, arm
+    every node's gate at a common epoch origin right as the measured
+    window opens, optionally SIGKILL ``kill_node_id`` mid-load and
+    restart it against the surviving heap, then quiesce, reconcile,
+    repair, and sweep.  Returns the loadgen report extended with a
+    ``chaos`` section; raises on an invariant violation.
+    """
+    wall_plan, dropped = compile_wall(plan, time_scale)
+    if dropped:
+        raise ValueError(
+            f"plan kinds {dropped} are sim-only and cannot run on the real "
+            "substrate (DESIGN §3.8)"
+        )
+    if kill_node_id == 0:
+        raise ValueError(
+            "node 0 hosts the in-process membership/weights handlers; "
+            "kill a data node instead"
+        )
+
+    descriptor = dict(harness.descriptor())
+    descriptor["config"] = {
+        **descriptor.get("config", {}), **CHAOS_CLIENT_CONFIG,
+    }
+    cluster = RealCluster(descriptor, timeout_s=timeout_s)
+    #: Arms the clients' lease-repair path, exactly as a sim cluster with
+    #: an injector attached would.
+    cluster.fault_injector = wall_plan
+
+    tasks: List[asyncio.Task] = []
+    killed: Dict[str, float] = {}
+
+    async def _watchdog() -> None:
+        # Reap dead children and surface NodeUnavailable immediately via
+        # the health view, instead of every op burning its full timeout.
+        while True:
+            for node_id in harness.reap():
+                cluster.health.report_down(node_id)
+            await asyncio.sleep(0.05)
+
+    async def _killer(t0: float) -> None:
+        await asyncio.sleep(kill_at_s)
+        harness.kill_node(kill_node_id)
+        cluster.health.report_down(kill_node_id)
+        killed["killed_at_s"] = time.time() - t0
+        await asyncio.sleep(restart_after_s)
+        await asyncio.to_thread(
+            harness.restart_node, kill_node_id,
+            chaos=(wall_plan.to_dict(), t0),
+        )
+        killed["restarted_at_s"] = time.time() - t0
+
+    async def _on_start() -> None:
+        t0 = time.time()
+        await _arm_gates(cluster, wall_plan, t0)
+        tasks.append(asyncio.create_task(_watchdog(), name="chaos-watchdog"))
+        if kill_node_id is not None:
+            tasks.append(
+                asyncio.create_task(_killer(t0), name="chaos-killer")
+            )
+
+    try:
+        report = await run_load(
+            descriptor,
+            clients=clients,
+            ops=ops,
+            n_keys=n_keys,
+            read_ratio=read_ratio,
+            value_bytes=value_bytes,
+            preload=preload,
+            seed=seed,
+            timeout_s=timeout_s,
+            cluster=cluster,
+            on_start=_on_start,
+        )
+        # The killer must have finished (kill + restart) before quiesce.
+        for task in tasks:
+            if task.get_name() == "chaos-killer":
+                await task
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        tasks.clear()
+
+        await _disarm_gates(cluster)
+        await cluster.engine.drain_background()
+        adopted = await reconcile_grants(cluster)
+        repaired = await repair_sweep(cluster)
+        await cluster.engine.drain_background()
+        summary = await sweep_real(cluster)
+    finally:
+        for task in tasks:
+            task.cancel()
+        await cluster.aclose()
+
+    report["chaos"] = {
+        "plan": plan.to_dict(),
+        "time_scale": time_scale,
+        "adopted_grants": len(adopted),
+        "repaired_slots": repaired,
+        "sweep": summary,
+        **killed,
+    }
+    return report
+
+
+__all__ = [
+    "CANNED_PLAN",
+    "CHAOS_CLIENT_CONFIG",
+    "CHAOS_TIMEOUT_S",
+    "ChaosGate",
+    "DEFAULT_TIME_SCALE",
+    "reconcile_grants",
+    "repair_sweep",
+    "run_chaos",
+    "sweep_real",
+]

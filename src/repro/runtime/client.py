@@ -18,20 +18,41 @@ from __future__ import annotations
 
 import asyncio
 import pickle
+import random
 import time
 from multiprocessing import shared_memory
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, FrozenSet, Generator, List, Optional
 
+from ..core.retry import backoff_s
 from ..memory.controller import OutOfMemoryError
 from ..memory.node import MemoryAccessError
 from ..rdma.transport import VerbTransport
 from ..rdma.verbs import NodeUnavailable, StaleEpoch, VerbTimeout
 from ..sim import CounterSet, Timeout
 from . import wire
+from .journal import unregister_shm
 
 #: Default per-verb wall-clock timeout.  Generous: loopback sockets
 #: complete in microseconds; this only bounds a wedged server.
 DEFAULT_TIMEOUT_S = 10.0
+
+#: Transparent resend attempts inside one verb when the connection dies
+#: mid-flight, before the failure surfaces as ``NodeUnavailable`` to the
+#: portable retry layer (which applies its own, coarser backoff).
+RESEND_ATTEMPTS = 4
+RESEND_BACKOFF_S = 0.005
+RESEND_BACKOFF_MAX_S = 0.04
+
+
+class RequestNotSent(ConnectionError):
+    """The connection died before the request hit the socket.
+
+    The server cannot have executed the verb, so a resend is safe for
+    *every* opcode — unlike the ambiguous "response lost" case
+    (``ConnectionResetError`` after the request was written), where only
+    idempotent verbs, token-deduplicated RPCs, and fate-resolved CAS may
+    be retried transparently.
+    """
 
 
 class WallClockRuntime:
@@ -137,6 +158,10 @@ class NodeHandle:
         """Map the node's heap read-only into this process."""
         if self._seg is None and self.shm:
             self._seg = shared_memory.SharedMemory(name=self.shm)
+            # Attaching registers the segment with *this* process's
+            # resource tracker, whose exit sweep would unlink the live
+            # server's heap.  Readers never own the segment.
+            unregister_shm(self._seg)
 
     def read_direct(self, addr: int, length: int) -> bytes:
         off = addr - self.base
@@ -187,7 +212,12 @@ class Connection:
                 future = self._pending.pop(req_id, None)
                 if future is not None and not future.done():
                     future.set_result((status, frame[wire.RESP.size :]))
-        except (wire.IncompleteReadError, ConnectionError, OSError) as exc:
+        except (
+            wire.IncompleteReadError,  # peer closed mid-frame / clean EOF
+            ConnectionError,
+            OSError,
+            ValueError,  # oversized/garbled frame header
+        ) as exc:
             self._fail(exc)
         except asyncio.CancelledError:
             self._fail(ConnectionResetError("connection closed"))
@@ -203,34 +233,105 @@ class Connection:
     async def request(self, op: int, body: bytes, timeout_s: float):
         """Send one request; returns ``(status, payload)``.
 
-        Raises TimeoutError on expiry (the late response, if any, is
-        dropped by the reader) and ConnectionResetError on a dead peer.
+        Raises :class:`RequestNotSent` when the connection was already
+        dead before the request bytes were handed to the transport (safe
+        to retry on a fresh connection, any opcode), TimeoutError on
+        expiry (the late response, if any, is dropped by the reader), and
+        plain ConnectionResetError when the peer died *after* the send —
+        the ambiguous "response lost" case where the server may or may
+        not have executed the request.
         """
         if self._broken is not None:
-            raise ConnectionResetError(str(self._broken))
+            raise RequestNotSent(str(self._broken))
+        if self._writer.is_closing():
+            raise RequestNotSent("connection is closing")
         self._next_id += 1
         req_id = self._next_id
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
+        # From the write() call on, bytes may have reached the peer even
+        # if drain() or the response wait fails — everything after this
+        # point is "response lost", never "not sent".
         self._writer.write(wire.request_frame(op, req_id, body))
-        await self._writer.drain()
         try:
+            await self._writer.drain()
             return await asyncio.wait_for(future, timeout_s)
         except asyncio.TimeoutError:
             self._pending.pop(req_id, None)
             raise
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            raise ConnectionResetError(str(exc)) from exc
 
     async def close(self) -> None:
         self._reader_task.cancel()
         try:
             await self._reader_task
-        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+        except asyncio.CancelledError:
             pass
+        except (wire.IncompleteReadError, ConnectionError, OSError, ValueError):
+            pass  # the loop's own failure surfaced through cancellation
         self._writer.close()
         try:
             await self._writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+class NodeHealth:
+    """Cluster-shared circuit breaker over memory-node liveness.
+
+    The wall-clock analogue of the sim's instantaneous outage knowledge:
+    once any endpoint observes a node refusing/resetting connections —
+    or the harness reaps a dead child — every client sharing this view
+    fails fast with :class:`~repro.rdma.verbs.NodeUnavailable` instead
+    of burning a full verb timeout per op.  While a node is marked down,
+    one probe request per :attr:`probe_interval_s` is let through
+    (half-open breaker); the first success marks the node up again.
+    Listeners (the cluster) are notified on every transition so they can
+    steer allocators away from, and back to, the node.
+    """
+
+    def __init__(self, probe_interval_s: float = 0.1):
+        self.probe_interval_s = probe_interval_s
+        #: node_id -> monotonic time of the last allowed probe.
+        self._down: Dict[int, float] = {}
+        self._listeners: List[Callable[[], None]] = []
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        self._listeners.append(callback)
+
+    def _notify(self) -> None:
+        for callback in self._listeners:
+            callback()
+
+    def down_ids(self) -> FrozenSet[int]:
+        return frozenset(self._down)
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    def report_down(self, node_id: int) -> None:
+        if node_id not in self._down:
+            # First probe is due immediately: a refused connect is cheap
+            # and recovery should be noticed fast.
+            self._down[node_id] = -1e9
+            self._notify()
+
+    def mark_up(self, node_id: int) -> None:
+        if self._down.pop(node_id, None) is not None:
+            self._notify()
+
+    def allow_probe(self, node_id: int) -> bool:
+        """True if the caller may issue a request to ``node_id`` now."""
+        last = self._down.get(node_id)
+        if last is None:
+            return True
+        now = time.monotonic()
+        if now - last >= self.probe_interval_s:
+            self._down[node_id] = now
+            return True
+        return False
 
 
 class RealEndpoint(VerbTransport):
@@ -249,7 +350,8 @@ class RealEndpoint(VerbTransport):
 
     __slots__ = (
         "engine", "nodes", "counters", "tracer", "fence", "consensus",
-        "timeout_s", "shm_reads", "_conns", "_single_node",
+        "timeout_s", "shm_reads", "health", "_conns", "_single_node",
+        "_rng", "_rpc_salt", "_rpc_seq",
     )
 
     def __init__(
@@ -259,6 +361,7 @@ class RealEndpoint(VerbTransport):
         counters: Optional[CounterSet] = None,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         shm_reads: bool = False,
+        health: Optional[NodeHealth] = None,
     ):
         self.engine = engine
         self.nodes = list(nodes)
@@ -268,11 +371,22 @@ class RealEndpoint(VerbTransport):
         self.consensus = None
         self.timeout_s = timeout_s
         self.shm_reads = shm_reads
+        self.health = health
         self._conns: Dict[int, Connection] = {}
         self._single_node = nodes[0] if len(nodes) == 1 else None
+        self._rng = random.Random()
+        # RPC dedup tokens: unique per endpoint lifetime (random salt)
+        # and per call (sequence) — never reused, never colliding with
+        # another client's across a shared server memo.
+        self._rpc_salt = random.getrandbits(31) << 32
+        self._rpc_seq = 0
         if shm_reads:
             for node in self.nodes:
                 node.attach()
+
+    def _next_token(self) -> int:
+        self._rpc_seq += 1
+        return self._rpc_salt | self._rpc_seq
 
     def _node_for(self, addr: int, length: int) -> NodeHandle:
         node = self._single_node
@@ -294,6 +408,9 @@ class RealEndpoint(VerbTransport):
                 node.host, node.port
             )
         except (ConnectionError, OSError) as exc:
+            if self.health is not None:
+                self.health.report_down(node.node_id)
+            self.counters.add("fault_node_unavailable")
             raise NodeUnavailable(
                 f"node {node.node_id} is unreachable ({exc})",
                 node_id=node.node_id,
@@ -302,24 +419,8 @@ class RealEndpoint(VerbTransport):
         self._conns[node.node_id] = conn
         return conn
 
-    async def _roundtrip(self, node: NodeHandle, verb: str, op: int,
-                         body: bytes) -> bytes:
-        conn = await self._connect(node)
-        try:
-            status, payload = await conn.request(op, body, self.timeout_s)
-        except asyncio.TimeoutError:
-            self.counters.add("fault_verb_timeout")
-            raise VerbTimeout(
-                f"{verb} to node {node.node_id} timed out after "
-                f"{self.timeout_s}s",
-                verb=verb, node_id=node.node_id,
-            ) from None
-        except (ConnectionError, OSError) as exc:
-            self.counters.add("fault_node_unavailable")
-            raise NodeUnavailable(
-                f"node {node.node_id} is unreachable ({verb}: {exc})",
-                verb=verb, node_id=node.node_id,
-            ) from exc
+    def _decode(self, node: NodeHandle, verb: str, status: int,
+                payload: bytes) -> bytes:
         if status == wire.ST_OK:
             return payload
         if status == wire.ST_ACCESS:
@@ -332,6 +433,107 @@ class RealEndpoint(VerbTransport):
         name, message = pickle.loads(payload)
         raise RuntimeError(f"node {node.node_id} {verb} failed: "
                            f"{name}: {message}")
+
+    async def _roundtrip(self, node: NodeHandle, verb: str, op: int,
+                         body: bytes) -> bytes:
+        """One verb against one node, riding through connection churn.
+
+        A verb that *times out* surfaces as :class:`VerbTimeout`
+        immediately — on this substrate a timeout means the request was
+        swallowed (chaos drop) or the server is wedged, and the sim's
+        drop semantics (client blocks its full timeout, then the
+        portable layer decides) must hold.  A connection that *dies*
+        mid-verb is retried transparently on a fresh connection within a
+        small budget: unconditionally when the request never left this
+        process (:class:`RequestNotSent`), and for ambiguous "response
+        lost" failures only when a duplicate execution is provably
+        harmless — READ/WRITE/PING are idempotent here
+        (:data:`~repro.runtime.wire.RESEND_SAFE_OPS`), RPCs replay
+        deduplicated under their token, FAA's only target is the history
+        clock (a rare double increment shifts a heuristic, not
+        correctness), and CAS resolves its fate by re-reading the target
+        word.  Persistent churn marks the node down in the shared health
+        view and surfaces as :class:`NodeUnavailable`, exactly like a
+        sim outage window.
+        """
+        health = self.health
+        probing = False
+        if health is not None and health.is_down(node.node_id):
+            if not health.allow_probe(node.node_id):
+                self.counters.add("fault_node_unavailable")
+                raise NodeUnavailable(
+                    f"node {node.node_id} is marked down ({verb})",
+                    verb=verb, node_id=node.node_id,
+                )
+            probing = True
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, RESEND_ATTEMPTS + 1):
+            conn = await self._connect(node)
+            try:
+                status, payload = await conn.request(
+                    op, body, self.timeout_s
+                )
+            except asyncio.TimeoutError:
+                self.counters.add("fault_verb_timeout")
+                raise VerbTimeout(
+                    f"{verb} to node {node.node_id} timed out after "
+                    f"{self.timeout_s}s",
+                    verb=verb, node_id=node.node_id,
+                ) from None
+            except RequestNotSent as exc:
+                last_exc = exc
+            except (ConnectionError, OSError) as exc:
+                if op == wire.OP_CAS:
+                    return await self._resolve_cas(node, verb, body)
+                last_exc = exc
+                if op not in wire.RESEND_SAFE_OPS and op not in (
+                    wire.OP_RPC, wire.OP_FAA
+                ):
+                    break  # no safe replay for this opcode (OP_SHUTDOWN)
+            else:
+                if probing:
+                    health.mark_up(node.node_id)
+                return self._decode(node, verb, status, payload)
+            if attempt < RESEND_ATTEMPTS:
+                self.counters.add("conn_resend")
+                await asyncio.sleep(backoff_s(
+                    attempt, base_s=RESEND_BACKOFF_S,
+                    ceiling_s=RESEND_BACKOFF_MAX_S,
+                    jitter=0.25, rng=self._rng,
+                ))
+        if health is not None:
+            health.report_down(node.node_id)
+        self.counters.add("fault_node_unavailable")
+        raise NodeUnavailable(
+            f"node {node.node_id} is unreachable ({verb}: {last_exc})",
+            verb=verb, node_id=node.node_id,
+        ) from last_exc
+
+    async def _resolve_cas(self, node: NodeHandle, verb: str,
+                           body: bytes) -> bytes:
+        """Disambiguate a CAS whose response was lost by reading the word.
+
+        If the word now holds ``new``, the CAS (or an equivalent one)
+        applied — report success by returning ``expected`` (a CAS's
+        result is the pre-swap value).  If it still holds ``expected``,
+        the CAS provably has not applied yet, so resending is safe.  Any
+        other value means a competitor won — return it as the ordinary
+        failure result.  The known blind spot is ABA (the word left
+        ``expected`` and came back) — impossible for this codebase's CAS
+        targets, which are monotonic version words and pointer installs
+        of never-reused fresh blocks.
+        """
+        self.counters.add("cas_fate_resolved")
+        addr, expected, new = wire.CAS_BODY.unpack(body)
+        raw = await self._roundtrip(
+            node, f"{verb}:fate", wire.OP_READ, wire.READ_BODY.pack(addr, 8)
+        )
+        (observed,) = wire.U64.unpack(raw)
+        if observed == expected and expected != new:
+            return await self._roundtrip(node, verb, wire.OP_CAS, body)
+        if observed == new:
+            return wire.U64.pack(expected)
+        return wire.U64.pack(observed)
 
     # -- verbs (generators, same surface as RdmaEndpoint) -----------------
 
@@ -394,8 +596,13 @@ class RealEndpoint(VerbTransport):
         if self.fence is not None:
             self.fence.check_rpc(node.node_id, "rpc")
         self.counters.add("rdma_rpc")
+        # Dedup token (0 for chaos/debug control RPCs, which are
+        # idempotent by construction): a resent frame carries the same
+        # token, so the server replays the memoized first result instead
+        # of executing twice.
+        token = 0 if op.startswith("__") else self._next_token()
         raw = yield self._roundtrip(
-            node, f"rpc:{op}", wire.OP_RPC, wire.pack_rpc(op, payload)
+            node, f"rpc:{op}", wire.OP_RPC, wire.pack_rpc(op, payload, token)
         )
         return pickle.loads(raw)
 

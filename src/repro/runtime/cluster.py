@@ -27,7 +27,7 @@ from ..core.geometry import plan_cluster
 from ..memory.allocator import MemoryBudget
 from ..obs.metrics import MetricsRegistry
 from ..sim import CounterSet
-from .client import NodeHandle, RealEndpoint, WallClockRuntime
+from .client import NodeHandle, NodeHealth, RealEndpoint, WallClockRuntime
 
 
 class _RegistryShim:
@@ -92,6 +92,11 @@ class RealCluster:
         self.membership = None
         self.timeout_s = timeout_s
         self.shm_reads = shm_reads
+        #: One liveness view shared by every endpoint: the first client
+        #: (or the harness reaper) to notice a dead node spares all the
+        #: others their timeouts, and recovery steers allocation back.
+        self.health = NodeHealth()
+        self.health.add_listener(self._on_health_change)
 
         self.nodes: List[NodeHandle] = [
             NodeHandle.from_dict(entry) for entry in descriptor["nodes"]
@@ -121,7 +126,25 @@ class RealCluster:
             counters=self.counters,
             timeout_s=self.timeout_s,
             shm_reads=self.shm_reads,
+            health=self.health,
         )
+
+    def _on_health_change(self) -> None:
+        """Steer every client's striped allocator off down nodes.
+
+        New blocks land on live nodes while a node is out (its cached
+        objects surface as clean misses and get re-admitted elsewhere);
+        when the node returns — outage window over, or restarted and
+        adopted — allocation resumes across the full stripe.  If *every*
+        node is down there is nothing to steer to, so leave the active
+        set alone and let verbs fail on their own.
+        """
+        down = self.health.down_ids()
+        active = [n.node_id for n in self.nodes if n.node_id not in down]
+        if not active:
+            return
+        for client in self.clients:
+            client.alloc.set_active(active)
 
     def add_clients(self, n: int) -> List[DittoClient]:
         """Join ``n`` client threads, each with its own endpoint (and

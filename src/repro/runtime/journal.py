@@ -1,0 +1,272 @@
+"""Durable grant journal: segment-management state that survives SIGKILL.
+
+The real-substrate memory node keeps its heap in a
+``multiprocessing.shared_memory`` segment, so the *data* plane already
+survives a server crash — but the control plane
+(:class:`~repro.memory.controller.SegmentState`: bump pointer, free
+lists, the per-owner grant log) lived only in the process.  A crashed
+node would come back with its heap intact and no idea which bytes it had
+granted, making the memory-accounting sweep (and crash-recovery grant
+reconciliation) impossible.
+
+The journal fixes that by appending a small write-through log to the
+tail of the same shared-memory segment, past the byte range clients can
+address::
+
+    [0, size)                 the node's heap (client-addressable)
+    [size, size + JOURNAL)    header + fixed 32-byte grant entries
+
+One entry per granted segment: ``(addr u64, size u64, owner i64,
+token u64)``.  Entries are written by the single-threaded server with
+``size`` stored *last*, so a SIGKILL at any instant leaves either a
+complete entry or one with ``size == 0`` that rebuild ignores; the
+header's ``count``/``next_free`` words are updated after the entry, and
+rebuild takes ``max(header.next_free, max entry end)`` so a crash
+between the stores never loses or double-grants a byte (at worst one
+*unacknowledged* grant's address range is leaked until the segment is
+unlinked).  A freed segment flips its entry's owner to
+:data:`FREE_OWNER` in place (one 8-byte store); reuse of a freed range
+rewrites token then owner.
+
+``token`` persists the RPC dedup token of the alloc (see
+:mod:`repro.runtime.wire`), so a client resending ``alloc_segment``
+across a server crash/restart gets its original grant back instead of a
+duplicate.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+from ..memory.controller import OutOfMemoryError, SegmentState, _round_up
+from ..memory.node import BLOCK_SIZE
+
+
+def unregister_shm(shm: shared_memory.SharedMemory) -> None:
+    """Opt this process's resource tracker out of managing ``shm``.
+
+    ``SharedMemory`` registers every segment it creates *or attaches*
+    with the resource tracker, whose atexit sweep unlinks them.  For
+    Ditto heaps that is actively wrong twice over: the tracker survives
+    a SIGKILLed server and would destroy the very segment
+    restart-and-adopt rides on, and a client process that merely
+    attached for direct reads would unlink a live server's heap on
+    exit.  Segment ownership is explicit in
+    :class:`repro.runtime.server.NodeServer` instead, with the harness
+    force-unlinking any survivor at teardown.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker may be absent/foreign
+        pass
+
+MAGIC = 0x4449_5454_4F4A_4E4C  # "DITTOJNL"
+VERSION = 1
+
+HEADER = struct.Struct("<QQQQ")          # magic, version|capacity, count, next_free
+ENTRY = struct.Struct("<QQqQ")           # addr, size, owner, token
+ENTRY_SIZE = ENTRY.size
+
+#: Entries this many grants can be journalled per node; segment grants are
+#: coarse (256 KiB default), so 4096 covers heaps far larger than any test
+#: or CI deployment.  A full journal surfaces as OutOfMemoryError.
+DEFAULT_CAPACITY = 4096
+
+#: Owner sentinel marking a freed (recyclable) segment entry.
+FREE_OWNER = -(1 << 40)
+
+
+def journal_bytes(capacity: int = DEFAULT_CAPACITY) -> int:
+    """Shared-memory bytes to reserve past the heap for the journal."""
+    return HEADER.size + capacity * ENTRY_SIZE
+
+
+class GrantJournal:
+    """The on-shm log itself: fixed entries over a writable memoryview."""
+
+    def __init__(self, buf: memoryview, capacity: int = DEFAULT_CAPACITY):
+        if len(buf) < journal_bytes(capacity):
+            raise ValueError(
+                f"journal buffer holds {len(buf)} bytes, need "
+                f"{journal_bytes(capacity)}"
+            )
+        self._buf = buf
+        self.capacity = capacity
+        self.count = 0
+        #: addr -> entry index, for in-place free/reuse/reassign updates.
+        self._index: Dict[int, int] = {}
+
+    # -- raw field stores (each a single aligned 8-byte write) -------------
+
+    def _entry_off(self, index: int) -> int:
+        return HEADER.size + index * ENTRY_SIZE
+
+    def _store_u64(self, off: int, value: int) -> None:
+        self._buf[off : off + 8] = struct.pack("<Q", value)
+
+    def _store_i64(self, off: int, value: int) -> None:
+        self._buf[off : off + 8] = struct.pack("<q", value)
+
+    def _entry(self, index: int) -> Tuple[int, int, int, int]:
+        off = self._entry_off(index)
+        return ENTRY.unpack_from(self._buf, off)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def initialize(self, next_free: int) -> None:
+        """Format a fresh journal (zero entries)."""
+        self._buf[: journal_bytes(self.capacity)] = bytes(
+            journal_bytes(self.capacity)
+        )
+        self._store_u64(0, MAGIC)
+        self._store_u64(8, (VERSION << 32) | self.capacity)
+        self._store_u64(16, 0)
+        self._store_u64(24, next_free)
+        self.count = 0
+        self._index = {}
+
+    @classmethod
+    def attach(cls, buf: memoryview) -> "GrantJournal":
+        """Bind to an existing journal; raises ValueError on a bad header."""
+        magic, vercap, count, _next_free = HEADER.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise ValueError(
+                f"no grant journal at this offset (magic {magic:#x})"
+            )
+        version, capacity = vercap >> 32, vercap & 0xFFFFFFFF
+        if version != VERSION:
+            raise ValueError(f"grant journal version {version} != {VERSION}")
+        journal = cls(buf, capacity)
+        journal.count = count
+        for index in range(count):
+            addr, size, _owner, _token = journal._entry(index)
+            if size != 0:
+                journal._index[addr] = index
+        return journal
+
+    @property
+    def next_free(self) -> int:
+        return HEADER.unpack_from(self._buf, 0)[3]
+
+    # -- mutations (write-through; called by DurableSegmentState) ----------
+
+    def record_alloc(self, addr: int, size: int, owner: int,
+                     token: int, next_free: int) -> None:
+        index = self._index.get(addr)
+        if index is not None:
+            # Reuse of a freed range: same addr/size, new owner + token.
+            off = self._entry_off(index)
+            self._store_u64(off + 24, token)
+            self._store_i64(off + 16, owner)
+            return
+        if self.count >= self.capacity:
+            raise OutOfMemoryError(
+                f"grant journal full ({self.capacity} entries)"
+            )
+        index = self.count
+        off = self._entry_off(index)
+        self._store_u64(off, addr)
+        self._store_i64(off + 16, owner)
+        self._store_u64(off + 24, token)
+        self._store_u64(off + 8, size)        # size last: validity gate
+        self._store_u64(24, next_free)
+        self._store_u64(16, index + 1)        # count last: publish the entry
+        self.count = index + 1
+        self._index[addr] = index
+
+    def record_free(self, addr: int) -> None:
+        index = self._index.get(addr)
+        if index is None:
+            return
+        self._store_i64(self._entry_off(index) + 16, FREE_OWNER)
+
+    def record_reassign(self, from_owner: int, to_owner: int) -> None:
+        for index in range(self.count):
+            off = self._entry_off(index)
+            _addr, size, owner, _token = self._entry(index)
+            if size != 0 and owner == from_owner:
+                self._store_i64(off + 16, to_owner)
+
+    # -- rebuild ------------------------------------------------------------
+
+    def entries(self):
+        for index in range(self.count):
+            addr, size, owner, token = self._entry(index)
+            if size != 0:
+                yield addr, size, owner, token
+
+
+class DurableSegmentState(SegmentState):
+    """A :class:`SegmentState` mirrored write-through into a grant journal.
+
+    The in-memory state stays authoritative on the serving path (same
+    code, same complexity); every state change additionally lands in the
+    journal before the RPC response is sent, so :meth:`adopt` can rebuild
+    an equivalent state machine from the surviving shared memory after a
+    SIGKILL.
+    """
+
+    __slots__ = ("journal", "token_grants")
+
+    def __init__(self, node_id: int, start: int, end: int,
+                 journal: GrantJournal, fresh: bool = True):
+        super().__init__(node_id, start, end)
+        self.journal = journal
+        #: Durable alloc dedup: token -> granted address.
+        self.token_grants: Dict[int, int] = {}
+        if fresh:
+            journal.initialize(start)
+
+    @classmethod
+    def adopt(cls, node_id: int, start: int, end: int,
+              buf: memoryview) -> "DurableSegmentState":
+        """Rebuild from a surviving journal (crash/restart adoption)."""
+        journal = GrantJournal.attach(buf)
+        state = cls(node_id, start, end, journal, fresh=False)
+        high_water = journal.next_free
+        for addr, size, owner, token in journal.entries():
+            high_water = max(high_water, addr + size)
+            if owner == FREE_OWNER:
+                state.free_segments.setdefault(size, []).append(addr)
+            else:
+                state.grants.setdefault(owner, []).append((addr, size))
+                if token:
+                    state.token_grants[token] = addr
+        state.next_free = high_water
+        return state
+
+    # -- journalled commands ------------------------------------------------
+
+    def alloc(self, size: int, owner: int, token: int = 0) -> int:
+        if token:
+            addr = self.token_grants.get(token)
+            if addr is not None:
+                return addr  # resent alloc: hand back the original grant
+        rounded = _round_up(size, BLOCK_SIZE)
+        addr = super().alloc(size, owner)
+        self.journal.record_alloc(addr, rounded, owner, token, self.next_free)
+        if token:
+            self.token_grants[token] = addr
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        super().free(addr, size)
+        self.journal.record_free(addr)
+
+    def reassign(self, from_owner: int, to_owner: int) -> int:
+        moved = super().reassign(from_owner, to_owner)
+        if moved:
+            self.journal.record_reassign(from_owner, to_owner)
+        return moved
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DurableSegmentState",
+    "FREE_OWNER",
+    "GrantJournal",
+    "journal_bytes",
+    "unregister_shm",
+]

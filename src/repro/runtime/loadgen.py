@@ -113,18 +113,31 @@ async def run_load(
     shm_reads: bool = False,
     timeout_s: float = 10.0,
     registry: Optional[MetricsRegistry] = None,
+    cluster: Optional[RealCluster] = None,
+    on_start=None,
 ) -> LoadReport:
     """Drive ``ops`` total operations from ``clients`` concurrent clients.
 
     Returns a report dict: throughput, per-verb latency percentiles, hit
     rate, failure counts, and the endpoint counters.
+
+    A caller that needs the cluster afterwards (the chaos harness runs
+    its invariant sweep over the same client state) may pass its own
+    ``cluster`` — it must have no clients yet and is *not* closed here.
+    ``on_start`` is an optional async callback awaited right before the
+    start gate opens (chaos uses it to arm fault gates and schedule the
+    kill task on the running loop).
     """
     raise_fd_limit(4 * clients + 64)
-    runtime = WallClockRuntime()
-    cluster = RealCluster(
-        descriptor, runtime=runtime, registry=registry,
-        timeout_s=timeout_s, shm_reads=shm_reads,
-    )
+    owns_cluster = cluster is None
+    if owns_cluster:
+        runtime = WallClockRuntime()
+        cluster = RealCluster(
+            descriptor, runtime=runtime, registry=registry,
+            timeout_s=timeout_s, shm_reads=shm_reads,
+        )
+    elif cluster.clients:
+        raise ValueError("a caller-provided cluster must have no clients")
     cluster.add_clients(clients)
     stats = {
         "ops_done": 0,
@@ -151,11 +164,14 @@ async def run_load(
     # Every task parks on the gate after its (cheap) setup, so the measured
     # window starts with all clients running.
     await asyncio.sleep(0)
+    if on_start is not None:
+        await on_start()
     t_start = time.perf_counter()
     start_gate.set()
     await asyncio.gather(*tasks)
     wall_s = time.perf_counter() - t_start
-    await cluster.aclose()
+    if owns_cluster:
+        await cluster.aclose()
 
     get_lat = stats["get_latency"]
     set_lat = stats["set_latency"]

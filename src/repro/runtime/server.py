@@ -3,10 +3,14 @@
 One process per memory node (``python -m repro.runtime.server``): the
 node's heap is a ``multiprocessing.shared_memory`` segment, verbs arrive
 as :mod:`repro.runtime.wire` frames over a loopback TCP listener, and the
-very same :class:`~repro.memory.node.MemoryNode` byte/atomic methods and
-:class:`~repro.memory.controller.SegmentState` machine that back the sim
-substrate execute them.  The server loop is single-threaded asyncio and
-memory operations contain no await points, so CAS/FAA from any number of
+very same :class:`~repro.memory.node.MemoryNode` byte/atomic methods that
+back the sim substrate execute them.  Segment management runs on
+:class:`~repro.runtime.journal.DurableSegmentState`, which mirrors every
+grant into a write-through journal at the tail of the same shared-memory
+segment — so a SIGKILLed node can be restarted with ``--adopt`` against
+the surviving heap and resume with its grant log (and alloc-dedup
+tokens) intact.  The server loop is single-threaded asyncio and memory
+operations contain no await points, so CAS/FAA from any number of
 connections linearize by construction — the same serialization point the
 sim models with the NIC pipe.
 
@@ -14,11 +18,21 @@ Node 0 additionally hosts the cluster-level metadata handlers (the
 adaptive ``update_weights`` fold and ``get_membership``), mirroring the
 sim cluster where node 0 carries the hash table and global structures.
 
+Fault injection: a :class:`~repro.runtime.chaos.ChaosGate` can be armed
+over RPC (``__chaos_load__``); it is consulted once per request frame,
+*before* execution, so a dropped verb never ran — the wall-clock
+equivalent of the sim's drop-at-the-NIC semantics.
+
 Lifecycle: the parent (``repro.runtime.harness``) spawns this module,
 reads the ``DITTO-NODE ...`` ready line for the bound port and shared-
-memory name, and later sends ``OP_SHUTDOWN`` (or SIGTERM).  The shared-
-memory segment is always unlinked on the way out — leak-free shutdown is
-part of the CI contract.
+memory name, and later sends ``OP_SHUTDOWN`` (or SIGTERM/SIGINT, which
+drain in-flight requests and close listeners first).  The shared-memory
+segment is unlinked only on an *owned, clean* shutdown: a SIGKILL leaves
+it behind on purpose (that is what restart-and-adopt rides on), and the
+harness force-unlinks any survivor at teardown so nothing leaks.  The
+segment is explicitly unregistered from the ``resource_tracker`` —
+otherwise the tracker of a killed process (or of a client that merely
+attached for direct reads) would unlink a heap that is still live.
 """
 
 from __future__ import annotations
@@ -28,14 +42,40 @@ import asyncio
 import pickle
 import signal
 import sys
+from collections import OrderedDict
 from multiprocessing import shared_memory
+from typing import Optional, Set
 
 from ..core.adaptive import GlobalWeights
 from ..core.elasticity import ACTIVE
-from ..memory.controller import OutOfMemoryError, SegmentState
+from ..memory.controller import OutOfMemoryError
 from ..memory.node import MemoryAccessError, MemoryNode
 from ..rdma.verbs import StaleEpoch
+from ..sim.faults import DOWN, DROP, FaultPlan
 from . import wire
+from .chaos import ChaosGate
+from .journal import (
+    DurableSegmentState,
+    GrantJournal,
+    journal_bytes,
+    unregister_shm,
+)
+
+#: Seconds granted to in-flight requests (and spiked delayed responses)
+#: on a graceful shutdown before connections are force-closed.
+DRAIN_GRACE_S = 0.5
+
+#: Memoized (status, body) results kept per node for RPC dedup tokens.
+RPC_MEMO_LIMIT = 1024
+
+_VERB_BY_OP = {
+    wire.OP_READ: "read",
+    wire.OP_WRITE: "write",
+    wire.OP_CAS: "cas",
+    wire.OP_FAA: "faa",
+    wire.OP_RPC: "rpc",
+    wire.OP_PING: "ping",
+}
 
 
 def shm_name(run_id: str, node_id: int) -> str:
@@ -55,29 +95,67 @@ class NodeServer:
         num_experts: int = 0,
         learning_rate: float = 0.1,
         membership: tuple = (),
+        port: int = 0,
+        adopt: bool = False,
     ):
         self.node_id = node_id
         self.run_id = run_id
-        self.shm = shared_memory.SharedMemory(
-            name=shm_name(run_id, node_id), create=True, size=size
-        )
+        self.port = port
+        total = size + journal_bytes()
+        if adopt:
+            self.shm = shared_memory.SharedMemory(
+                name=shm_name(run_id, node_id), create=False
+            )
+            if self.shm.size < total:
+                self.shm.close()
+                raise ValueError(
+                    f"surviving segment {self.shm.name} holds "
+                    f"{self.shm.size} bytes, adoption needs {total}"
+                )
+        else:
+            self.shm = shared_memory.SharedMemory(
+                name=shm_name(run_id, node_id), create=True, size=total
+            )
+        unregister_shm(self.shm)
+        self._owns_shm = True
         self.node = MemoryNode(
             None, size=size, base=base, node_id=node_id, buffer=self.shm.buf
         )
-        self.segments = SegmentState(node_id, base + reserve, base + size)
+        self._jview = self.shm.buf[size:total]
+        try:
+            if adopt:
+                self.segments = DurableSegmentState.adopt(
+                    node_id, base + reserve, base + size, self._jview
+                )
+            else:
+                self.segments = DurableSegmentState(
+                    node_id, base + reserve, base + size,
+                    GrantJournal(self._jview),
+                )
+        except ValueError:
+            # Failed adoption: never unlink a heap we could not parse.
+            self._release_views()
+            self.shm.close()
+            self.shm = None
+            raise
         self.weights = (
             GlobalWeights(num_experts, learning_rate) if num_experts else None
         )
         #: Static membership advertised by get_membership (node 0 only);
         #: the real substrate does not yet run elastic node changes.
         self.membership = tuple(membership)
+        self.gate: Optional[ChaosGate] = None
+        self._rpc_memo: "OrderedDict[int, tuple]" = OrderedDict()
         self._stop = asyncio.Event()
         self._server = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._delayed: Set[asyncio.Task] = set()
         self.ops_served = 0
 
     # -- RPC handlers (mirror Controller's registered operations) ---------
 
-    def _rpc(self, op: str, payload):
+    def _rpc(self, op: str, payload, token: int = 0):
         seg = self.segments
         if op == "alloc_segment":
             if seg.draining:
@@ -90,7 +168,7 @@ class NodeServer:
                 size, owner = payload
             else:
                 size, owner = payload, -1
-            return seg.alloc(size, owner)
+            return seg.alloc(size, owner, token)
         if op == "free_segment":
             addr, size = payload
             return seg.free(addr, size)
@@ -99,6 +177,11 @@ class NodeServer:
         if op == "reassign_grants":
             from_owner, to_owner = payload
             return seg.reassign(from_owner, to_owner)
+        if op == "granted_segments":
+            return {
+                owner: list(pairs)
+                for owner, pairs in seg.grants.items() if pairs
+            }
         if op == "update_weights":
             if self.weights is None:
                 raise KeyError(
@@ -111,6 +194,15 @@ class NodeServer:
                     f"node {self.node_id} does not host the membership table"
                 )
             return (0, tuple((nid, ACTIVE) for nid in self.membership))
+        if op == "__chaos_load__":
+            plan_dict, t0 = payload
+            gate = ChaosGate(FaultPlan.from_dict(plan_dict), self.node_id)
+            gate.arm(t0)
+            self.gate = gate
+            return t0
+        if op == "__chaos_stop__":
+            self.gate = None
+            return None
         raise KeyError(f"no RPC handler registered for {op!r}")
 
     # -- frame dispatch ----------------------------------------------------
@@ -137,52 +229,142 @@ class NodeServer:
         raise ValueError(f"unknown opcode {op}")
 
     async def _serve_rpc(self, body: bytes):
-        op_name, payload = wire.unpack_rpc(body)
+        op_name, payload, token = wire.unpack_rpc(body)
+        if token:
+            memo = self._rpc_memo.get(token)
+            if memo is not None:
+                # Resent RPC (response lost): replay the first result.
+                self._rpc_memo.move_to_end(token)
+                return memo
         if op_name == "__sleep__":
             # Debug/test handler: a stalled controller (timeout surfacing).
             await asyncio.sleep(float(payload))
             return wire.ST_OK, pickle.dumps(None)
         try:
-            result = self._rpc(op_name, payload)
+            result = self._rpc(op_name, payload, token)
         except OutOfMemoryError as err:
-            return wire.ST_OOM, pickle.dumps(str(err))
+            out = wire.ST_OOM, pickle.dumps(str(err))
         except StaleEpoch as err:
-            return wire.ST_STALE, pickle.dumps(
+            out = wire.ST_STALE, pickle.dumps(
                 (str(err), err.node_id, err.epoch)
             )
-        return wire.ST_OK, pickle.dumps(result)
+        else:
+            out = wire.ST_OK, pickle.dumps(result)
+        if token:
+            self._rpc_memo[token] = out
+            while len(self._rpc_memo) > RPC_MEMO_LIMIT:
+                self._rpc_memo.popitem(last=False)
+        return out
+
+    async def _execute(self, op: int, body: bytes):
+        try:
+            if op == wire.OP_RPC:
+                return await self._serve_rpc(body)
+            return self._serve_data(op, body)
+        except MemoryAccessError as err:
+            return wire.ST_ACCESS, pickle.dumps(str(err))
+        except Exception as err:  # noqa: BLE001 — must not kill the loop
+            return wire.ST_ERROR, pickle.dumps(
+                (type(err).__name__, str(err))
+            )
+
+    def _gate_outcome(self, op: int, body: bytes):
+        """Consult the chaos gate for this frame; (kind, extra_us).
+
+        Shutdown frames and the chaos control RPCs themselves are exempt
+        — the harness must always be able to disarm or stop a node.
+        """
+        gate = self.gate
+        if gate is None or op == wire.OP_SHUTDOWN:
+            return None, 0.0
+        if op == wire.OP_RPC and wire.peek_rpc_name(body).startswith(
+            "__chaos"
+        ):
+            return None, 0.0
+        return gate.verb_outcome(_VERB_BY_OP.get(op, "rpc"))
+
+    def _spawn_delayed(self, writer, op: int, req_id: int, body: bytes,
+                       delay_s: float) -> None:
+        """Latency spike: execute + respond after the delay, off the main
+        per-connection loop so other multiplexed requests keep flowing —
+        the sim's extra-lead-latency semantics (the verb executes at its
+        delayed completion time)."""
+
+        async def _later():
+            await asyncio.sleep(delay_s)
+            status, out = await self._execute(op, body)
+            if not writer.is_closing():
+                writer.write(wire.response_frame(req_id, status, out))
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+
+        task = asyncio.create_task(_later())
+        self._delayed.add(task)
+        task.add_done_callback(self._delayed.discard)
 
     async def _handle(self, reader, writer):
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
         try:
             while True:
                 frame = await wire.read_frame(reader)
                 op, req_id = wire.REQ.unpack_from(frame)
                 body = frame[wire.REQ.size :]
                 self.ops_served += 1
+                kind, extra_us = self._gate_outcome(op, body)
+                if kind == DROP:
+                    continue  # swallowed before execution: client times out
+                if kind == DOWN:
+                    break  # outage window: reset, client sees NodeUnavailable
                 if op == wire.OP_SHUTDOWN:
                     writer.write(wire.response_frame(req_id, wire.ST_OK))
                     await writer.drain()
                     self._stop.set()
                     break
-                try:
-                    if op == wire.OP_RPC:
-                        status, out = await self._serve_rpc(body)
-                    else:
-                        status, out = self._serve_data(op, body)
-                except MemoryAccessError as err:
-                    status, out = wire.ST_ACCESS, pickle.dumps(str(err))
-                except Exception as err:  # noqa: BLE001 — must not kill the loop
-                    status, out = wire.ST_ERROR, pickle.dumps(
-                        (type(err).__name__, str(err))
+                if extra_us > 0.0:
+                    self._spawn_delayed(
+                        writer, op, req_id, bytes(body), extra_us / 1e6
                     )
+                    continue
+                status, out = await self._execute(op, body)
                 writer.write(wire.response_frame(req_id, status, out))
                 await writer.drain()
         except (wire.IncompleteReadError, ConnectionResetError, OSError):
             pass  # client went away; nothing to clean up per-connection
         finally:
+            self._conn_tasks.discard(task)
+            self._writers.discard(writer)
             writer.close()
 
     # -- lifecycle ---------------------------------------------------------
+
+    async def _drain(self, grace: float = DRAIN_GRACE_S) -> None:
+        """Let in-flight work finish, then tear connections down.
+
+        Data verbs execute without awaiting, so by the time this
+        coroutine runs none is mid-execution; what can be in flight are
+        spiked delayed responses and slow RPCs.  Give them the grace
+        period, then cancel stragglers and close every connection (which
+        pops the per-connection loops out of ``read_frame``).
+        """
+        pending = {t for t in self._delayed if not t.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=grace)
+            for task in pending:
+                task.cancel()
+        for writer in list(self._writers):
+            writer.close()
+        handlers = {
+            t for t in self._conn_tasks
+            if not t.done() and t is not asyncio.current_task()
+        }
+        if handlers:
+            _done, rest = await asyncio.wait(handlers, timeout=grace)
+            for task in rest:
+                task.cancel()
 
     async def run(self, announce=print) -> None:
         loop = asyncio.get_running_loop()
@@ -192,7 +374,7 @@ class NodeServer:
             except (NotImplementedError, RuntimeError):
                 pass
         self._server = await asyncio.start_server(
-            self._handle, "127.0.0.1", 0
+            self._handle, "127.0.0.1", self.port
         )
         port = self._server.sockets[0].getsockname()[1]
         announce(
@@ -204,18 +386,27 @@ class NodeServer:
         finally:
             self._server.close()
             await self._server.wait_closed()
+            await self._drain()
             self.close()
 
+    def _release_views(self) -> None:
+        if self._jview is not None:
+            self._jview.release()
+            self._jview = None
+        if self.node is not None:
+            self.node._memory.release()
+
     def close(self) -> None:
-        """Release the heap; idempotent, and always unlinks the segment."""
+        """Release the heap; unlinks only when this process owns it."""
         if self.shm is None:
             return
-        self.node._memory.release()
+        self._release_views()
         self.shm.close()
-        try:
-            self.shm.unlink()
-        except FileNotFoundError:
-            pass
+        if self._owns_shm:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
         self.shm = None
 
 
@@ -228,6 +419,13 @@ def main(argv=None) -> int:
     parser.add_argument("--size", type=int, required=True)
     parser.add_argument("--reserve", type=int, default=0)
     parser.add_argument("--run-id", default="dev")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral; a restarted node "
+                             "reuses its old port so clients reconnect)")
+    parser.add_argument("--adopt", action="store_true",
+                        help="attach to the surviving shared-memory segment "
+                             "of a crashed instance and rebuild grant state "
+                             "from its journal")
     parser.add_argument("--experts", type=int, default=0,
                         help="host the global adaptive weights (node 0)")
     parser.add_argument("--learning-rate", type=float, default=0.1)
@@ -237,11 +435,17 @@ def main(argv=None) -> int:
     membership = tuple(
         int(part) for part in args.membership.split(",") if part != ""
     )
-    server = NodeServer(
-        args.node_id, args.base, args.size, reserve=args.reserve,
-        run_id=args.run_id, num_experts=args.experts,
-        learning_rate=args.learning_rate, membership=membership,
-    )
+    try:
+        server = NodeServer(
+            args.node_id, args.base, args.size, reserve=args.reserve,
+            run_id=args.run_id, num_experts=args.experts,
+            learning_rate=args.learning_rate, membership=membership,
+            port=args.port, adopt=args.adopt,
+        )
+    except (ValueError, FileNotFoundError, FileExistsError) as err:
+        print(f"DITTO-NODE-ERROR node_id={args.node_id} {err}",
+              file=sys.stderr, flush=True)
+        return 1
 
     def announce(line: str) -> None:
         print(line, flush=True)

@@ -15,10 +15,21 @@ rankings are identical.  Both sides execute the *same*
 the verb layer differs — so an ordering disagreement localizes to the
 substrate model, not the caching logic.
 
+A second mode, ``--chaos``, is the wall-clock robustness drill: the
+*same* :class:`~repro.sim.faults.FaultPlan` (canned drop+outage plan, or
+``--chaos-plan plan.json``) is executed on the sim substrate and then —
+compiled to wall-clock — against a live 2-node cluster under the full
+load generator, optionally with a SIGKILL/restart-and-adopt cycle
+(``--kill``), ending with grant reconciliation, lease-repair scrubs, and
+the memory-accounting invariant sweep read out of the real shared-memory
+heaps.  Pass criteria: zero client-visible failures (clean misses are
+fine), a green sweep, and zero leaked processes or segments.
+
 CLI::
 
     python -m repro.runtime.validate            # full run, ~30 s
     python -m repro.runtime.validate --ops 2000 # quicker smoke
+    python -m repro.runtime.validate --chaos --kill --clients 16 --ops 5000
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import numpy as np
 
 from ..bench.runner import READ, UPDATE, Feed, Harness, preload
 from ..bench.systems import build_ditto
+from ..sim.faults import FaultPlan
 from ..workloads import ZipfianGenerator
 from .harness import RealClusterHarness
 from .loadgen import run_load
@@ -132,6 +144,113 @@ def real_throughput(config: Dict, ops: int = 6000) -> float:
     return report["ops_per_s"]
 
 
+def sim_chaos(plan: FaultPlan, warm_us: float = 5_000.0,
+              window_us: float = 40_000.0) -> Dict:
+    """Run the fault plan on the sim substrate (its native habitat).
+
+    The measurement window is chosen to cover the canned plan's sim-time
+    fault windows, so the counters show the injected drops/outages being
+    ridden through by the same client machinery the real run exercises.
+    Clients get the same enlarged retry budget the real chaos run
+    overlays (:data:`~repro.runtime.chaos.CHAOS_CLIENT_CONFIG`) — riding
+    a whole outage window takes more attempts than the default three.
+    """
+    from .chaos import CHAOS_CLIENT_CONFIG
+
+    cluster = build_ditto(
+        _CAPACITY,
+        _CLIENTS,
+        num_memory_nodes=_NUM_MEMORY_NODES,
+        seed=_SEED,
+        faults=plan,
+        **CHAOS_CLIENT_CONFIG,
+    )
+    preload(
+        cluster.engine, cluster.clients, range(_N_KEYS // 2),
+        value_size=_VALUE_BYTES,
+    )
+    harness = Harness(cluster.engine, value_size=_VALUE_BYTES)
+    feeds = [
+        _zipf_feed(20_000, _SEED * 1_000_003 + i, 0.95)
+        for i in range(len(cluster.clients))
+    ]
+    harness.launch_all(cluster.clients, feeds)
+    harness.warm(warm_us)
+    measured = harness.measure(window_us)
+    harness.stop_all()
+    counters = cluster.counters.as_dict()
+    return {
+        "throughput_mops": measured.throughput_mops,
+        "fault_counters": {
+            key: value for key, value in sorted(counters.items())
+            if key.startswith("fault")
+        },
+    }
+
+
+def run_chaos_validation(
+    ops: int = 5000,
+    clients: int = 16,
+    plan: Optional[FaultPlan] = None,
+    time_scale: Optional[float] = None,
+    kill: bool = False,
+    progress=None,
+) -> Dict:
+    """One FaultPlan, two substrates, plus the real-heap invariant sweep."""
+    from .chaos import CANNED_PLAN, DEFAULT_TIME_SCALE, run_chaos
+
+    say = progress if progress is not None else (lambda _msg: None)
+    if plan is None:
+        plan = CANNED_PLAN
+    if time_scale is None:
+        time_scale = DEFAULT_TIME_SCALE
+
+    say("[sim ] replaying the fault plan on the simulator ...")
+    sim_result = sim_chaos(plan)
+    say(f"[sim ] {sim_result['throughput_mops']:.4f} Mops under faults "
+        f"{sim_result['fault_counters']}")
+
+    say(f"[real] loadgen under the compiled plan "
+        f"({clients} clients / {ops} ops"
+        + (", SIGKILL+restart of node 1" if kill else "") + ") ...")
+    harness = RealClusterHarness(
+        capacity_objects=_CAPACITY,
+        num_clients=clients,
+        num_memory_nodes=_NUM_MEMORY_NODES,
+        seed=_SEED,
+    )
+    try:
+        harness.launch()
+        report = asyncio.run(run_chaos(
+            harness, plan,
+            time_scale=time_scale,
+            clients=clients,
+            ops=ops,
+            n_keys=_N_KEYS,
+            read_ratio=0.95,
+            value_bytes=_VALUE_BYTES,
+            preload=_N_KEYS // 2,
+            seed=_SEED,
+            kill_node_id=1 if kill else None,
+        ))
+    finally:
+        harness.shutdown()
+    leak = harness.leak_report()
+    harness.unlink_leaked()
+    say(f"[real] {report['ops_per_s']} ops/s, "
+        f"{report['failed_ops']} failed ops, "
+        f"sweep {report['chaos']['sweep']}, leak check {leak}")
+    return {
+        "plan": plan.to_dict(),
+        "time_scale": time_scale,
+        "kill": kill,
+        "sim": sim_result,
+        "real": report,
+        "leak": leak,
+        "clean": bool(leak["clean"] and report["failed_ops"] == 0),
+    }
+
+
 def _ranking(throughputs: Dict[str, float]) -> List[str]:
     """Config names from fastest to slowest."""
     return sorted(throughputs, key=throughputs.__getitem__, reverse=True)
@@ -172,7 +291,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="real-substrate ops per configuration")
     parser.add_argument("--json", default="",
                         help="also write the comparison to this path")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the wall-clock chaos drill instead of "
+                             "the throughput-ordering comparison")
+    parser.add_argument("--kill", action="store_true",
+                        help="with --chaos: SIGKILL memory node 1 "
+                             "mid-load and restart-and-adopt it")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="with --chaos: concurrent loadgen clients")
+    parser.add_argument("--chaos-plan", default="",
+                        help="with --chaos: FaultPlan JSON file "
+                             "(default: the canned drop+outage plan)")
+    parser.add_argument("--time-scale", type=float, default=None,
+                        help="with --chaos: sim-µs → wall-µs multiplier")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        plan = None
+        if args.chaos_plan:
+            with open(args.chaos_plan, "r", encoding="utf-8") as fh:
+                plan = FaultPlan.from_dict(json.load(fh))
+        result = run_chaos_validation(
+            ops=args.ops if args.ops != 6000 else 5000,
+            clients=args.clients,
+            plan=plan,
+            time_scale=args.time_scale,
+            kill=args.kill,
+            progress=print,
+        )
+        text = json.dumps(result, indent=2, sort_keys=True, default=str)
+        print(text)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        verdict = "CLEAN" if result["clean"] else "DIRTY"
+        print(f"chaos drill {verdict}")
+        return 0 if result["clean"] else 1
+
     result = run_validation(ops=args.ops, progress=print)
     print()
     print(f"{'config':<10} {'sim Mops':>10} {'real ops/s':>12}")

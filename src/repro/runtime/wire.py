@@ -17,6 +17,15 @@ substrate, not an untrusted network service).
 
 Error statuses carry enough to re-raise the *same* exception types the
 sim substrate uses, keeping client retry machinery substrate-blind.
+
+RPC frames additionally carry a client-chosen u64 *dedup token* between
+the op name and the pickled payload.  A connection can die after the
+request was sent but before the response arrives ("response lost"); the
+client may then transparently resend the RPC over a fresh connection,
+and the server uses the token to return the memoized first result
+instead of executing twice.  Token 0 means "no dedup" (fire-and-forget
+or read-only RPCs).  ``alloc_segment`` tokens are additionally persisted
+in the node's grant journal, so dedup survives a server crash/restart.
 """
 
 from __future__ import annotations
@@ -59,6 +68,16 @@ U64 = struct.Struct("<Q")
 
 MAX_FRAME = 64 * (1 << 20)
 
+#: Opcodes a client may transparently resend after "response lost"
+#: (request sent, connection died before the reply): READ and PING are
+#: pure, WRITE is idempotent (object writes target private fresh blocks;
+#: metadata writes rewrite the same bytes).  CAS is *not* here — a
+#: resend could apply twice — the client resolves its fate by re-reading
+#: the target word.  FAA is not here either: the client special-cases it
+#: (the only FAA target is the history clock, where a rare double
+#: increment is benign).  RPCs resend under their dedup token.
+RESEND_SAFE_OPS = frozenset({OP_READ, OP_WRITE, OP_PING})
+
 
 def request_frame(op: int, req_id: int, body: bytes = b"") -> bytes:
     frame = REQ.pack(op, req_id) + body
@@ -70,16 +89,24 @@ def response_frame(req_id: int, status: int, body: bytes = b"") -> bytes:
     return HEADER.pack(len(frame)) + frame
 
 
-def pack_rpc(op_name: str, payload) -> bytes:
+def pack_rpc(op_name: str, payload, token: int = 0) -> bytes:
     name = op_name.encode("utf-8")
-    return bytes((len(name),)) + name + pickle.dumps(payload)
+    return (
+        bytes((len(name),)) + name + U64.pack(token) + pickle.dumps(payload)
+    )
 
 
 def unpack_rpc(body: bytes):
     name_len = body[0]
     op_name = body[1 : 1 + name_len].decode("utf-8")
-    payload = pickle.loads(body[1 + name_len :])
-    return op_name, payload
+    (token,) = U64.unpack_from(body, 1 + name_len)
+    payload = pickle.loads(body[1 + name_len + U64.size :])
+    return op_name, payload, token
+
+
+def peek_rpc_name(body: bytes) -> str:
+    """The RPC op name without unpickling the payload (gate fast path)."""
+    return body[1 : 1 + body[0]].decode("utf-8")
 
 
 async def read_frame(reader: StreamReader) -> bytes:
@@ -97,6 +124,7 @@ __all__ = [
     "ST_OK", "ST_ERROR", "ST_ACCESS", "ST_OOM", "ST_STALE",
     "HEADER", "REQ", "RESP",
     "READ_BODY", "WRITE_HDR", "CAS_BODY", "FAA_BODY", "U64",
+    "RESEND_SAFE_OPS",
     "request_frame", "response_frame", "pack_rpc", "unpack_rpc",
-    "read_frame", "IncompleteReadError",
+    "peek_rpc_name", "read_frame", "IncompleteReadError",
 ]

@@ -271,6 +271,65 @@ class FaultPlan:
         )
 
 
+#: Plan kinds the wall-clock chaos layer (``repro.runtime.chaos``) can
+#: execute 1:1.  The rest are sim-only: client crashes need the engine's
+#: ability to kill a driver mid-yield, and controller crashes/partitions
+#: target the replicated metadata service, which the real substrate runs
+#: in the launcher process.
+WALL_KINDS = ("drops", "spikes", "outages", "rpc_failures")
+
+
+def compile_wall(
+    plan: FaultPlan, time_scale: float = 1.0
+) -> Tuple[FaultPlan, Tuple[str, ...]]:
+    """Compile a sim-time plan into a wall-clock schedule.
+
+    The compilation rule is a single multiplication: every time quantity
+    (window starts/ends *and* spike ``extra_us``) is scaled by
+    ``time_scale``, turning simulated microseconds into wall-clock
+    microseconds relative to the instant the chaos gates are armed.  A
+    sim plan authored against a ~30 ms simulated run replays against a
+    ~1.5 s wall-clock loadgen with ``time_scale=50`` — same windows,
+    same seed, same relative ordering.
+
+    Returns ``(wall_plan, dropped_kinds)``; ``dropped_kinds`` names the
+    sim-only fault kinds (see :data:`WALL_KINDS`) the wall layer cannot
+    execute, so callers can refuse or warn instead of silently ignoring
+    them.  Pure data-to-data: nothing here touches the engine, so sim
+    runs stay byte-identical.
+    """
+    if time_scale <= 0.0:
+        raise ValueError(f"time_scale must be positive, got {time_scale}")
+    dropped = tuple(
+        name for name in _KINDS
+        if name not in WALL_KINDS and getattr(plan, name)
+    )
+    scale = time_scale
+    wall = FaultPlan(
+        drops=tuple(
+            DropWindow(w.start_us * scale, w.end_us * scale, w.prob,
+                       w.node_id, w.verbs)
+            for w in plan.drops
+        ),
+        spikes=tuple(
+            LatencySpike(s.start_us * scale, s.end_us * scale,
+                         s.extra_us * scale, s.node_id, s.verbs)
+            for s in plan.spikes
+        ),
+        outages=tuple(
+            NodeOutage(o.node_id, o.start_us * scale, o.end_us * scale)
+            for o in plan.outages
+        ),
+        rpc_failures=tuple(
+            RpcFailure(r.start_us * scale, r.end_us * scale, r.prob,
+                       r.node_id)
+            for r in plan.rpc_failures
+        ),
+        seed=plan.seed,
+    )
+    return wall, dropped
+
+
 class FaultInjector:
     """A :class:`FaultPlan` armed against a live engine.
 
@@ -458,4 +517,6 @@ __all__ = [
     "NodeOutage",
     "Partition",
     "RpcFailure",
+    "WALL_KINDS",
+    "compile_wall",
 ]

@@ -16,6 +16,7 @@ import asyncio
 import socket
 import subprocess
 import sys
+import time
 import uuid
 
 import pytest
@@ -70,6 +71,17 @@ class SimSubstrate:
         self.injector.load(FaultPlan(outages=(NodeOutage(0, 0.0, 1e12),)))
         return self.ep, self.rpc_node
 
+    def arm_plan(self, plan):
+        self.injector.load(plan)
+
+    def disarm_plan(self):
+        self.injector.load(FaultPlan())
+
+    def bounce(self):
+        # A sim node bounce is an outage window that has already closed:
+        # DRAM contents persist by construction, nothing to restart.
+        pass
+
     def close(self):
         pass
 
@@ -78,13 +90,14 @@ class RealSubstrate:
     name = "real"
 
     def __init__(self):
+        self._argv = [
+            sys.executable, "-m", "repro.runtime.server",
+            "--node-id", "0", "--base", "0", "--size", str(HEAP_SIZE),
+            "--reserve", str(RESERVE),
+            "--run-id", f"conf-{uuid.uuid4().hex[:8]}",
+        ]
         self.proc = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro.runtime.server",
-                "--node-id", "0", "--base", "0", "--size", str(HEAP_SIZE),
-                "--reserve", str(RESERVE),
-                "--run-id", f"conf-{uuid.uuid4().hex[:8]}",
-            ],
+            self._argv,
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         )
         line = self.proc.stdout.readline()
@@ -115,6 +128,45 @@ class RealSubstrate:
             dead_port = probe.getsockname()[1]
         dead = NodeHandle(0, 0, HEAP_SIZE, "127.0.0.1", dead_port)
         return RealEndpoint(self.runtime, [dead]), dead
+
+    def arm_plan(self, plan):
+        # Arm the server's in-process fault gate with the very plan the
+        # sim injector loads; parity plans are authored in wall-µs, so
+        # no compile_wall scaling here (test_chaos.py covers that).  The
+        # verb timeout shrinks so a gate drop expires quickly.
+        self._saved_timeout = self.ep.timeout_s
+        self.ep.timeout_s = 0.3
+
+        def flow():
+            yield from self.ep.rpc(
+                self.rpc_node, "__chaos_load__",
+                (plan.to_dict(), time.time()),
+            )
+
+        self.run(flow())
+
+    def disarm_plan(self):
+        def flow():
+            yield from self.ep.rpc(self.rpc_node, "__chaos_stop__", None)
+
+        self.run(flow())
+        self.ep.timeout_s = self._saved_timeout
+
+    def bounce(self):
+        # SIGKILL, then restart-and-adopt on the same port: the shared-
+        # memory heap survives the kill and the replacement rebuilds from
+        # it; the endpoint's broken connection heals via resend.
+        port = self.rpc_node.port
+        self.proc.kill()
+        self.proc.wait()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        self.proc = subprocess.Popen(
+            self._argv + ["--port", str(port), "--adopt"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        line = self.proc.stdout.readline()
+        assert line.startswith("DITTO-NODE "), line
 
     def close(self):
         self.loop.run_until_complete(self.ep.aclose())
@@ -277,6 +329,60 @@ def test_timeouts_surface_as_verb_timeout(substrate):
 
     with pytest.raises(VerbTimeout):
         substrate.run(flow())
+
+
+def test_same_plan_drop_surfaces_as_verb_timeout(substrate):
+    # One FaultPlan, two substrates: a dropped verb never executes, so the
+    # client observes silence and times out — on the sim via the injector,
+    # on the real substrate via the server's ChaosGate swallowing the
+    # request frame mid-verb.
+    plan = FaultPlan(drops=(DropWindow(0.0, 1e12, verbs=("read",)),))
+    substrate.arm_plan(plan)
+    ep = substrate.ep
+
+    def flow():
+        return (yield from ep.read(SCRATCH, 8))
+
+    with pytest.raises(VerbTimeout):
+        substrate.run(flow())
+    substrate.disarm_plan()
+    assert substrate.run(flow()) == bytes(8)
+
+
+def test_same_plan_outage_surfaces_as_node_unavailable(substrate):
+    # The same outage window downs the node on both substrates.  On the
+    # real one this is the connection-reset-between-frames path: the gate
+    # closes the socket before executing, every resend meets another
+    # reset, and the bounded retry loop converts that to NodeUnavailable.
+    plan = FaultPlan(outages=(NodeOutage(0, 0.0, 1e12),))
+    substrate.arm_plan(plan)
+    ep = substrate.ep
+
+    def flow():
+        return (yield from ep.read(SCRATCH, 8))
+
+    with pytest.raises(NodeUnavailable):
+        substrate.run(flow())
+    substrate.disarm_plan()
+    assert substrate.run(flow()) == bytes(8)
+
+
+def test_node_bounce_preserves_memory(substrate):
+    # An MN crash/restart cycle loses no committed bytes: the real server
+    # is SIGKILLed and readopts its surviving shared-memory heap; the sim
+    # models the same contract by construction (outages never clear DRAM).
+    ep = substrate.ep
+    addr = SCRATCH + 3500
+
+    def write_flow():
+        yield from ep.write(addr, b"durable!")
+
+    def read_flow():
+        return (yield from ep.read(addr, 8))
+
+    substrate.run(write_flow())
+    substrate.bounce()
+    assert substrate.run(read_flow()) == b"durable!"
 
 
 def test_unreachable_node_surfaces_as_node_unavailable(substrate):
