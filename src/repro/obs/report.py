@@ -6,18 +6,31 @@ Works on the Chrome ``trace_event`` JSON written by
 (NIC queueing, controller CPU, client think time), not where the host CPU
 goes; that is what the paper's latency-breakdown figures reason about.
 
+The same machinery works on **wall-clock** traces from the real
+substrate: ``--merge DIR`` aligns the per-process shards that
+``repro.obs.runtime`` exports (one per launcher / memory node / loadgen
+process, see ``REPRO_TRACE``) onto a common epoch origin and emits a
+single Chrome trace with one lane group per process, chaos fault
+windows included.  ``--validate``, ``--top``, and ``--flamegraph`` then
+apply to the merged document.
+
 Usage::
 
     python -m repro.obs.report .traces/fig02.trace.json --top 15
     python -m repro.obs.report trace.json --validate
     python -m repro.obs.report trace.json --flamegraph out.folded
     flamegraph.pl out.folded > flame.svg   # or any collapsed-stack viewer
+
+    python -m repro.obs.report --merge .rtraces           # writes merged.trace.json
+    python -m repro.obs.report --merge .rtraces --validate
+    python -m repro.obs.report --merge .rtraces --per-node-flamegraphs flames/
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -128,6 +141,28 @@ def counter_summaries(doc: Dict[str, Any]) -> Dict[str, Dict[str, Dict[str, floa
     }
 
 
+def process_names(doc: Dict[str, Any]) -> Dict[int, str]:
+    """pid → human name from ``process_name`` metadata events."""
+    names: Dict[int, str] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event["pid"]] = (event.get("args") or {}).get(
+                "name", f"pid {event['pid']}"
+            )
+    return names
+
+
+def split_by_process(doc: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+    """One sub-document per pid, metadata events carried into each."""
+    docs: Dict[int, Dict[str, Any]] = {}
+    for event in doc.get("traceEvents", ()):
+        sub = docs.setdefault(
+            event["pid"], {"traceEvents": [], "displayTimeUnit": "ms"}
+        )
+        sub["traceEvents"].append(event)
+    return docs
+
+
 def render_report(doc: Dict[str, Any], top: int = 20) -> str:
     """Human-readable summary: hottest spans by self time, then counters."""
     lines: List[str] = []
@@ -161,7 +196,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Summarise a simulated-time Chrome trace.",
     )
-    parser.add_argument("trace", help="path to a *.trace.json file")
+    parser.add_argument("trace", nargs="?", default="",
+                        help="path to a *.trace.json file")
+    parser.add_argument(
+        "--merge", metavar="DIR",
+        help="merge the per-process shard-*.json files under DIR "
+             "(a REPRO_TRACE directory) into one wall-clock trace and "
+             "operate on that instead of a trace file",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="with --merge: where to write the merged trace "
+             "(default DIR/merged.trace.json)",
+    )
     parser.add_argument(
         "--validate", action="store_true",
         help="check trace schema and span nesting; nonzero exit on problems",
@@ -171,26 +218,67 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write collapsed-stack lines (flamegraph.pl input) to OUT",
     )
     parser.add_argument(
+        "--per-node-flamegraphs", metavar="OUTDIR",
+        help="write one collapsed-stack file per process lane to OUTDIR",
+    )
+    parser.add_argument(
         "--top", type=int, default=20,
         help="rows in the span table (default 20)",
     )
     args = parser.parse_args(argv)
+    if bool(args.trace) == bool(args.merge):
+        parser.error("exactly one of TRACE or --merge DIR is required")
 
-    doc = load_trace(args.trace)
+    if args.merge:
+        from .runtime import merge_shards
+
+        doc, info = merge_shards(args.merge)
+        if not info["shards"]:
+            print(f"no shard-*.json files under {args.merge}",
+                  file=sys.stderr)
+            return 1
+        out_path = args.out or os.path.join(args.merge, "merged.trace.json")
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        label = out_path
+        print(f"merged {len(info['shards'])} shards "
+              f"({len(doc.get('traceEvents', []))} events) -> {out_path}")
+        for skipped in info.get("skipped", ()):
+            print(f"skipped unreadable shard: {skipped}", file=sys.stderr)
+    else:
+        doc = load_trace(args.trace)
+        label = args.trace
+
     if args.validate:
         problems = validate_trace(doc)
         if problems:
             for problem in problems:
                 print(f"INVALID: {problem}", file=sys.stderr)
             return 1
-        print(f"{args.trace}: valid "
+        print(f"{label}: valid "
               f"({len(doc.get('traceEvents', []))} events)")
     if args.flamegraph:
         lines = flamegraph_folded(doc)
         with open(args.flamegraph, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines) + ("\n" if lines else ""))
         print(f"wrote {len(lines)} stacks to {args.flamegraph}")
-    if not args.validate and not args.flamegraph:
+    if args.per_node_flamegraphs:
+        os.makedirs(args.per_node_flamegraphs, exist_ok=True)
+        names = process_names(doc)
+        for pid, sub in sorted(split_by_process(doc).items()):
+            lines = flamegraph_folded(sub)
+            if not lines:
+                continue
+            name = names.get(pid, f"pid-{pid}")
+            safe = "".join(
+                ch if ch.isalnum() or ch in "-_" else "-" for ch in name
+            ).strip("-") or f"pid-{pid}"
+            path = os.path.join(args.per_node_flamegraphs, f"{safe}.folded")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+            print(f"wrote {len(lines)} stacks to {path}")
+    if not (args.validate or args.flamegraph or args.per_node_flamegraphs):
         print(render_report(doc, top=args.top))
     return 0
 

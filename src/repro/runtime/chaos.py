@@ -35,6 +35,8 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..core import invariants
+from ..obs import runtime as obs_runtime
+from ..obs.runtime import maybe_span
 from ..sim.faults import (
     DOWN,
     DROP,
@@ -114,6 +116,12 @@ class ChaosGate:
         self._active_from = min((s for s, _ in windows), default=_INF)
         self._active_until = max((e for _, e in windows), default=-_INF)
         self.t0: Optional[float] = None
+        #: Always-on fate tally, reported by the server's ``__stats__``
+        #: RPC and folded into the chaos digest (plain dict increments;
+        #: cheap enough to keep unconditioned).
+        self.verdicts: Dict[str, int] = {
+            "ok": 0, "drop": 0, "down": 0, "spike": 0,
+        }
 
     def arm(self, t0_epoch: Optional[float] = None) -> float:
         """Start the clock; returns the epoch origin actually used."""
@@ -133,9 +141,11 @@ class ChaosGate:
             return OK, 0.0
         now = self.now_us()
         if not self._active_from <= now < self._active_until:
+            self.verdicts["ok"] += 1
             return OK, 0.0
         for outage in self._outages:
             if outage.start_us <= now < outage.end_us:
+                self.verdicts["down"] += 1
                 return DOWN, 0.0
         for w in self._drops:
             if (
@@ -144,6 +154,7 @@ class ChaosGate:
                 and (w.verbs is None or verb in w.verbs)
                 and (w.prob >= 1.0 or self.rng.random() < w.prob)
             ):
+                self.verdicts["drop"] += 1
                 return DROP, 0.0
         extra = 0.0
         for s in self._spikes:
@@ -153,6 +164,7 @@ class ChaosGate:
                 and (s.verbs is None or verb in s.verbs)
             ):
                 extra += s.extra_us
+        self.verdicts["spike" if extra > 0.0 else "ok"] += 1
         return OK, extra
 
 
@@ -356,9 +368,21 @@ async def run_chaos(
         )
         killed["restarted_at_s"] = time.time() - t0
 
+    obs = obs_runtime.current()
+
     async def _on_start() -> None:
         t0 = time.time()
+        killed["_t0_epoch"] = t0
         await _arm_gates(cluster, wall_plan, t0)
+        if obs is not None:
+            # Overlay the plan's fault windows on the launcher's trace
+            # (each armed server shard overlays its own copy too) and
+            # mark the common arm origin.
+            obs_runtime.record_fault_windows(obs, wall_plan, t0)
+            obs.tracer.instant_at(
+                "chaos.armed", "chaos", obs.ts_from_epoch(t0), tid=0,
+                args={"time_scale": time_scale},
+            )
         tasks.append(asyncio.create_task(_watchdog(), name="chaos-watchdog"))
         if kill_node_id is not None:
             tasks.append(
@@ -388,26 +412,51 @@ async def run_chaos(
         await asyncio.gather(*tasks, return_exceptions=True)
         tasks.clear()
 
+        # Collect per-node gate verdict tallies before disarm drops the
+        # gates (the servers also fold them for later __stats__ polls).
+        verdicts = await _collect_verdicts(cluster)
         await _disarm_gates(cluster)
-        await cluster.engine.drain_background()
-        adopted = await reconcile_grants(cluster)
-        repaired = await repair_sweep(cluster)
-        await cluster.engine.drain_background()
-        summary = await sweep_real(cluster)
+        with maybe_span("chaos.quiesce", "chaos"):
+            await cluster.engine.drain_background()
+            with maybe_span("chaos.reconcile_grants", "chaos"):
+                adopted = await reconcile_grants(cluster)
+            with maybe_span("chaos.repair_sweep", "chaos"):
+                repaired = await repair_sweep(cluster)
+            await cluster.engine.drain_background()
+            with maybe_span("chaos.invariant_sweep", "chaos"):
+                summary = await sweep_real(cluster)
     finally:
         for task in tasks:
             task.cancel()
         await cluster.aclose()
 
+    killed.pop("_t0_epoch", None)
     report["chaos"] = {
         "plan": plan.to_dict(),
         "time_scale": time_scale,
+        "verdicts": verdicts,
         "adopted_grants": len(adopted),
         "repaired_slots": repaired,
         "sweep": summary,
         **killed,
     }
+    report["digest"] = obs_runtime.build_digest(report)
     return report
+
+
+async def _collect_verdicts(cluster: RealCluster) -> Dict[str, int]:
+    """Sum every node's chaos-gate fate tally via the ``__stats__`` RPC."""
+    ep = cluster.clients[0].ep
+    totals: Dict[str, int] = {}
+    for node in cluster.nodes:
+        try:
+            stats = await drive(ep.rpc(node, "__stats__", None))
+        except Exception:  # noqa: BLE001 — verdicts are best-effort info
+            continue
+        for kind, count in (stats.get("chaos_verdicts") or {}).items():
+            if count:
+                totals[kind] = totals.get(kind, 0) + count
+    return totals
 
 
 __all__ = [

@@ -26,6 +26,7 @@ from typing import Callable, Dict, FrozenSet, Generator, List, Optional
 from ..core.retry import backoff_s
 from ..memory.controller import OutOfMemoryError
 from ..memory.node import MemoryAccessError
+from ..obs import runtime as obs_runtime
 from ..rdma.transport import VerbTransport
 from ..rdma.verbs import NodeUnavailable, StaleEpoch, VerbTimeout
 from ..sim import CounterSet, Timeout
@@ -292,11 +293,15 @@ class NodeHealth:
     steer allocators away from, and back to, the node.
     """
 
-    def __init__(self, probe_interval_s: float = 0.1):
+    def __init__(self, probe_interval_s: float = 0.1,
+                 counters: Optional[CounterSet] = None):
         self.probe_interval_s = probe_interval_s
         #: node_id -> monotonic time of the last allowed probe.
         self._down: Dict[int, float] = {}
         self._listeners: List[Callable[[], None]] = []
+        #: Optional shared tally: each down transition counts one
+        #: ``breaker_trip`` (surfaced in load reports and digests).
+        self.counters = counters
 
     def add_listener(self, callback: Callable[[], None]) -> None:
         self._listeners.append(callback)
@@ -316,6 +321,8 @@ class NodeHealth:
             # First probe is due immediately: a refused connect is cheap
             # and recovery should be noticed fast.
             self._down[node_id] = -1e9
+            if self.counters is not None:
+                self.counters.add("breaker_trip")
             self._notify()
 
     def mark_up(self, node_id: int) -> None:
@@ -351,7 +358,7 @@ class RealEndpoint(VerbTransport):
     __slots__ = (
         "engine", "nodes", "counters", "tracer", "fence", "consensus",
         "timeout_s", "shm_reads", "health", "_conns", "_single_node",
-        "_rng", "_rpc_salt", "_rpc_seq",
+        "_rng", "_rpc_salt", "_rpc_seq", "_obs_proc", "_obs_hist",
     )
 
     def __init__(
@@ -380,6 +387,11 @@ class RealEndpoint(VerbTransport):
         # another client's across a shared server memo.
         self._rpc_salt = random.getrandbits(31) << 32
         self._rpc_seq = 0
+        # Bound once at construction: None when observability is disarmed,
+        # so the roundtrip hot path pays exactly one identity test and
+        # never touches a registry (the zero-cost conformance contract).
+        self._obs_proc = obs_runtime.current()
+        self._obs_hist: Dict[str, object] = {}
         if shm_reads:
             for node in self.nodes:
                 node.attach()
@@ -456,6 +468,8 @@ class RealEndpoint(VerbTransport):
         view and surfaces as :class:`NodeUnavailable`, exactly like a
         sim outage window.
         """
+        obs = self._obs_proc
+        start_pc = time.perf_counter() if obs is not None else 0.0
         health = self.health
         probing = False
         if health is not None and health.is_down(node.node_id):
@@ -493,6 +507,10 @@ class RealEndpoint(VerbTransport):
             else:
                 if probing:
                     health.mark_up(node.node_id)
+                if obs is not None:
+                    self._obs_record(
+                        verb, (time.perf_counter() - start_pc) * 1e6
+                    )
                 return self._decode(node, verb, status, payload)
             if attempt < RESEND_ATTEMPTS:
                 self.counters.add("conn_resend")
@@ -508,6 +526,21 @@ class RealEndpoint(VerbTransport):
             f"node {node.node_id} is unreachable ({verb}: {last_exc})",
             verb=verb, node_id=node.node_id,
         ) from last_exc
+
+    def _obs_record(self, verb: str, roundtrip_us: float) -> None:
+        """Record one successful roundtrip (armed processes only).
+
+        Histograms are bound lazily per verb string and cached, so the
+        steady state is one dict hit + one record; labels use the verb
+        base (``rpc:alloc_segment`` → ``rpc``) to keep cardinality flat.
+        """
+        hist = self._obs_hist.get(verb)
+        if hist is None:
+            hist = self._obs_proc.registry.histogram(
+                "verb.roundtrip_us", verb=verb.split(":", 1)[0]
+            )
+            self._obs_hist[verb] = hist
+        hist.record(roundtrip_us)
 
     async def _resolve_cas(self, node: NodeHandle, verb: str,
                            body: bytes) -> bytes:

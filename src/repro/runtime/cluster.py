@@ -95,7 +95,7 @@ class RealCluster:
         #: One liveness view shared by every endpoint: the first client
         #: (or the harness reaper) to notice a dead node spares all the
         #: others their timeouts, and recovery steers allocation back.
-        self.health = NodeHealth()
+        self.health = NodeHealth(counters=self.counters)
         self.health.add_listener(self._on_health_change)
 
         self.nodes: List[NodeHandle] = [

@@ -41,11 +41,48 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.config import DittoConfig
 from ..core.geometry import plan_cluster
+from ..obs.runtime import maybe_span
 from . import wire
 from .server import shm_name
 
 _READY_PREFIX = "DITTO-NODE "
 _READY_TIMEOUT_S = 30.0
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = b""
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            raise ConnectionResetError("peer closed during control RPC")
+        chunks += chunk
+    return chunks
+
+
+def control_rpc(host: str, port: int, op: str, payload=None,
+                timeout_s: float = 5.0):
+    """One synchronous control RPC over a throwaway socket.
+
+    The out-of-band channel for anything that must not ride the async
+    client stack: harness chaos arm/stop, and ``repro.obs.top`` polling
+    ``__stats__`` on a cluster it did not launch.
+    """
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.settimeout(timeout_s)
+        sock.sendall(wire.request_frame(
+            wire.OP_RPC, 1, wire.pack_rpc(op, payload)
+        ))
+        header = _recv_exact(sock, wire.HEADER.size)
+        (length,) = wire.HEADER.unpack(header)
+        frame = _recv_exact(sock, length)
+        _req_id, status = wire.RESP.unpack_from(frame)
+        body = frame[wire.RESP.size:]
+        if status != wire.ST_OK:
+            raise RuntimeError(
+                f"control RPC {op!r} failed with status {status}: "
+                f"{pickle.loads(body)}"
+            )
+        return pickle.loads(body)
 
 
 def _shm_dir() -> str:
@@ -128,19 +165,21 @@ class RealClusterHarness:
         """Spawn the node servers; returns the cluster descriptor."""
         if self.procs:
             raise RuntimeError("harness already launched")
-        try:
-            spawned = []
-            for node_id, base, size in self.plan.node_ranges:
-                extra = self._node0_argv() if node_id == 0 else []
-                spawned.append(self._spawn(node_id, base, size, extra))
-            for proc, (node_id, base, size) in zip(
-                spawned, self.plan.node_ranges
-            ):
-                entry = self._await_ready(proc, node_id, timeout_s)
-                self.node_entries.append(entry)
-        except Exception:
-            self.shutdown()
-            raise
+        with maybe_span("harness.launch", "runtime", lane="harness",
+                        args={"nodes": len(self.plan.node_ranges)}):
+            try:
+                spawned = []
+                for node_id, base, size in self.plan.node_ranges:
+                    extra = self._node0_argv() if node_id == 0 else []
+                    spawned.append(self._spawn(node_id, base, size, extra))
+                for proc, (node_id, base, size) in zip(
+                    spawned, self.plan.node_ranges
+                ):
+                    entry = self._await_ready(proc, node_id, timeout_s)
+                    self.node_entries.append(entry)
+            except Exception:
+                self.shutdown()
+                raise
         return self.descriptor()
 
     def _await_ready(self, proc, node_id: int, timeout_s: float) -> Dict:
@@ -207,8 +246,10 @@ class RealClusterHarness:
         proc = self._proc_by_node.get(node_id)
         if proc is None or proc.poll() is not None:
             return False
-        proc.kill()
-        proc.wait()
+        with maybe_span("harness.kill", "chaos", lane="harness",
+                        args={"node_id": node_id}):
+            proc.kill()
+            proc.wait()
         return True
 
     def reap(self) -> List[int]:
@@ -247,50 +288,29 @@ class RealClusterHarness:
         extra = ["--port", str(entry["port"]), "--adopt"]
         if node_id == 0:
             extra += self._node0_argv()
-        proc = self._spawn(node_id, base, size, extra)
-        reborn = self._await_ready(proc, node_id, timeout_s)
-        if (reborn["port"], reborn["shm"]) != (entry["port"], entry["shm"]):
-            raise RuntimeError(
-                f"restarted node {node_id} came back as {reborn}, "
-                f"expected endpoint {entry}"
-            )
-        self._reaped.discard(node_id)
-        if chaos is not None:
-            plan_dict, t0 = chaos
-            self.raw_rpc(entry, "__chaos_load__", (plan_dict, t0))
+        with maybe_span("harness.restart_adopt", "chaos", lane="harness",
+                        args={"node_id": node_id}):
+            proc = self._spawn(node_id, base, size, extra)
+            reborn = self._await_ready(proc, node_id, timeout_s)
+            if (reborn["port"], reborn["shm"]) != (
+                entry["port"], entry["shm"]
+            ):
+                raise RuntimeError(
+                    f"restarted node {node_id} came back as {reborn}, "
+                    f"expected endpoint {entry}"
+                )
+            self._reaped.discard(node_id)
+            if chaos is not None:
+                plan_dict, t0 = chaos
+                self.raw_rpc(entry, "__chaos_load__", (plan_dict, t0))
         return reborn
 
     def raw_rpc(self, entry: Dict, op: str, payload,
                 timeout_s: float = 5.0):
-        """One synchronous control RPC over a throwaway socket."""
-        with socket.create_connection(
-            (entry["host"], entry["port"]), timeout=timeout_s
-        ) as sock:
-            sock.settimeout(timeout_s)
-            sock.sendall(wire.request_frame(
-                wire.OP_RPC, 1, wire.pack_rpc(op, payload)
-            ))
-            header = self._recv_exact(sock, wire.HEADER.size)
-            (length,) = wire.HEADER.unpack(header)
-            frame = self._recv_exact(sock, length)
-            _req_id, status = wire.RESP.unpack_from(frame)
-            body = frame[wire.RESP.size:]
-            if status != wire.ST_OK:
-                raise RuntimeError(
-                    f"control RPC {op!r} failed with status {status}: "
-                    f"{pickle.loads(body)}"
-                )
-            return pickle.loads(body)
-
-    @staticmethod
-    def _recv_exact(sock: socket.socket, n: int) -> bytes:
-        chunks = b""
-        while len(chunks) < n:
-            chunk = sock.recv(n - len(chunks))
-            if not chunk:
-                raise ConnectionResetError("peer closed during control RPC")
-            chunks += chunk
-        return chunks
+        """One synchronous control RPC against a launched node."""
+        return control_rpc(
+            entry["host"], entry["port"], op, payload, timeout_s
+        )
 
     # -- shutdown and leak accounting --------------------------------------
 
@@ -311,26 +331,28 @@ class RealClusterHarness:
         if self._shut_down:
             return
         self._shut_down = True
-        for entry in self.node_entries:
-            self._send_shutdown(entry)
-        deadline = time.monotonic() + timeout_s
-        for proc in self.procs:
-            remaining = max(0.1, deadline - time.monotonic())
-            try:
-                proc.wait(timeout=remaining)
-            except subprocess.TimeoutExpired:
-                proc.terminate()
+        with maybe_span("harness.shutdown", "runtime", lane="harness",
+                        args={"nodes": len(self.node_entries)}):
+            for entry in self.node_entries:
+                self._send_shutdown(entry)
+            deadline = time.monotonic() + timeout_s
+            for proc in self.procs:
+                remaining = max(0.1, deadline - time.monotonic())
                 try:
-                    proc.wait(timeout=5.0)
+                    proc.wait(timeout=remaining)
                 except subprocess.TimeoutExpired:
-                    proc.kill()
-                    proc.wait()
-        for proc in self.procs:
-            # Release the pipe fds now rather than at GC time.
-            if proc.stdout:
-                proc.stdout.close()
-            if proc.stderr:
-                proc.stderr.close()
+                    proc.terminate()
+                    try:
+                        proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        proc.wait()
+            for proc in self.procs:
+                # Release the pipe fds now rather than at GC time.
+                if proc.stdout:
+                    proc.stdout.close()
+                if proc.stderr:
+                    proc.stderr.close()
 
     def leak_report(self) -> Dict:
         """Post-shutdown accounting: processes and shm segments left over."""

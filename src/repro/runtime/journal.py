@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import struct
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..memory.controller import OutOfMemoryError, SegmentState, _round_up
 from ..memory.node import BLOCK_SIZE
@@ -97,6 +97,10 @@ class GrantJournal:
         self.count = 0
         #: addr -> entry index, for in-place free/reuse/reassign updates.
         self._index: Dict[int, int] = {}
+        #: Optional observability hook, invoked once per journalled
+        #: mutation (alloc/free/reassign).  None when obs is disarmed —
+        #: the write path then pays a single attribute test.
+        self.on_record: Optional[Callable[[], None]] = None
 
     # -- raw field stores (each a single aligned 8-byte write) -------------
 
@@ -154,6 +158,8 @@ class GrantJournal:
 
     def record_alloc(self, addr: int, size: int, owner: int,
                      token: int, next_free: int) -> None:
+        if self.on_record is not None:
+            self.on_record()
         index = self._index.get(addr)
         if index is not None:
             # Reuse of a freed range: same addr/size, new owner + token.
@@ -177,12 +183,16 @@ class GrantJournal:
         self._index[addr] = index
 
     def record_free(self, addr: int) -> None:
+        if self.on_record is not None:
+            self.on_record()
         index = self._index.get(addr)
         if index is None:
             return
         self._store_i64(self._entry_off(index) + 16, FREE_OWNER)
 
     def record_reassign(self, from_owner: int, to_owner: int) -> None:
+        if self.on_record is not None:
+            self.on_record()
         for index in range(self.count):
             off = self._entry_off(index)
             _addr, size, owner, _token = self._entry(index)

@@ -31,6 +31,7 @@ import time
 from typing import Dict, Optional
 
 from ..core.client import CacheOperationError
+from ..obs import runtime as obs_runtime
 from ..obs.metrics import MetricsRegistry
 from ..rdma.verbs import RdmaFaultError
 from ..sim.stats import LatencyStats
@@ -70,6 +71,8 @@ async def _client_loop(
     seed: int,
     stats: Dict,
     start_gate: asyncio.Event,
+    obs: Optional["obs_runtime.ProcessObs"] = None,
+    lane: int = 0,
 ) -> None:
     keys = ZipfianGenerator(n_keys, theta=theta, seed=seed).sample(ops)
     import random
@@ -78,10 +81,12 @@ async def _client_loop(
     value = bytes(value_bytes)
     get_lat = stats["get_latency"]
     set_lat = stats["set_latency"]
+    tracer = obs.tracer if obs is not None else None
     await start_gate.wait()
     for i in range(ops):
         key = b"key-%d" % int(keys[i])
         is_read = rng.random() < read_ratio
+        failed = False
         t0 = time.perf_counter()
         try:
             if is_read:
@@ -93,11 +98,20 @@ async def _client_loop(
                 await drive(client.set(key, value))
         except (CacheOperationError, RdmaFaultError):
             stats["failed_ops"] += 1
-            continue
+            failed = True
         finally:
             stats["ops_done"] += 1
         elapsed_us = (time.perf_counter() - t0) * 1e6
-        (get_lat if is_read else set_lat).record(elapsed_us)
+        if tracer is not None:
+            # Ops on this task are sequential, so spans nest trivially in
+            # the client's own lane.
+            tracer.complete_at(
+                "op.get" if is_read else "op.set", "op",
+                obs.now_us() - elapsed_us, elapsed_us, tid=lane,
+                args={"failed": True} if failed else None,
+            )
+        if not failed:
+            (get_lat if is_read else set_lat).record(elapsed_us)
 
 
 async def run_load(
@@ -129,6 +143,10 @@ async def run_load(
     kill task on the running loop).
     """
     raise_fd_limit(4 * clients + 64)
+    obs = obs_runtime.current()
+    if obs is not None and registry is None:
+        # Armed process: client-side metrics land in the trace shard.
+        registry = obs.registry
     owns_cluster = cluster is None
     if owns_cluster:
         runtime = WallClockRuntime()
@@ -139,6 +157,8 @@ async def run_load(
     elif cluster.clients:
         raise ValueError("a caller-provided cluster must have no clients")
     cluster.add_clients(clients)
+    if obs is not None:
+        obs.bridge_counters(cluster.counters, component="client")
     stats = {
         "ops_done": 0,
         "failed_ops": 0,
@@ -157,6 +177,8 @@ async def run_load(
             _client_loop(
                 cluster, client, per_client, n_keys, theta, read_ratio,
                 value_bytes, seed * 1_000_003 + index, stats, start_gate,
+                obs=obs,
+                lane=obs.lane(f"client-{index}") if obs is not None else 0,
             )
         )
         for index, client in enumerate(cluster.clients)
@@ -166,10 +188,16 @@ async def run_load(
     await asyncio.sleep(0)
     if on_start is not None:
         await on_start()
+    load_start_us = obs.now_us() if obs is not None else 0.0
     t_start = time.perf_counter()
     start_gate.set()
     await asyncio.gather(*tasks)
     wall_s = time.perf_counter() - t_start
+    if obs is not None:
+        obs.tracer.complete(
+            "load", "phase", load_start_us,
+            args={"clients": clients, "ops": ops},
+        )
     if owns_cluster:
         await cluster.aclose()
 

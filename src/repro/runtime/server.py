@@ -39,9 +39,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import pickle
 import signal
 import sys
+import time
 from collections import OrderedDict
 from multiprocessing import shared_memory
 from typing import Optional, Set
@@ -50,6 +52,8 @@ from ..core.adaptive import GlobalWeights
 from ..core.elasticity import ACTIVE
 from ..memory.controller import OutOfMemoryError
 from ..memory.node import MemoryAccessError, MemoryNode
+from ..obs import runtime as obs_runtime
+from ..obs.metrics import MetricsRegistry
 from ..rdma.verbs import StaleEpoch
 from ..sim.faults import DOWN, DROP, FaultPlan
 from . import wire
@@ -80,6 +84,40 @@ _VERB_BY_OP = {
 
 def shm_name(run_id: str, node_id: int) -> str:
     return f"ditto-{run_id}-mn{node_id}"
+
+
+class _ServerObs:
+    """Pre-bound instruments for the served-frame hot path.
+
+    Built once when observability arms, so a hot frame performs only
+    counter adds and histogram records — never a registry lookup or
+    allocation.  ``proc`` (the trace-shard exporter) is optional:
+    ``__stats_arm__`` can arm metrics-only introspection at runtime on a
+    node that was launched without ``REPRO_TRACE``.
+    """
+
+    __slots__ = ("registry", "proc", "verb_count", "verb_us",
+                 "frame_bytes", "verdict_drop", "verdict_down",
+                 "verdict_spike", "journal_writes")
+
+    def __init__(self, registry: MetricsRegistry,
+                 proc: Optional["obs_runtime.ProcessObs"] = None):
+        self.registry = registry
+        self.proc = proc
+        self.verb_count = {
+            op: registry.counter("verbs", verb=verb)
+            for op, verb in _VERB_BY_OP.items()
+        }
+        self.verb_us = {
+            op: registry.histogram("verb.service_us", verb=verb)
+            for op, verb in _VERB_BY_OP.items()
+        }
+        self.frame_bytes = registry.histogram("frame.bytes")
+        self.verdict_drop = registry.counter("gate.verdicts", verdict="drop")
+        self.verdict_down = registry.counter("gate.verdicts", verdict="down")
+        self.verdict_spike = registry.counter("gate.verdicts",
+                                              verdict="spike")
+        self.journal_writes = registry.counter("journal.writes")
 
 
 class NodeServer:
@@ -152,6 +190,67 @@ class NodeServer:
         self._writers: Set[asyncio.StreamWriter] = set()
         self._delayed: Set[asyncio.Task] = set()
         self.ops_served = 0
+        self.started_epoch = time.time()
+        #: None until armed (launch-time via REPRO_TRACE, or runtime via
+        #: the __stats_arm__ RPC).  Hot paths guard on this being None.
+        self._obs: Optional[_ServerObs] = None
+        #: Verdict counts of gates already disarmed (__chaos_stop__ folds
+        #: them here so a post-drill __stats__ still sees the totals).
+        self._chaos_verdicts: dict = {}
+        self._conn_seq = 0
+
+    # -- observability -----------------------------------------------------
+
+    def arm_obs(self, proc: Optional["obs_runtime.ProcessObs"]) -> None:
+        """Arm per-frame instrumentation; idempotent.
+
+        With a :class:`~repro.obs.runtime.ProcessObs` (``REPRO_TRACE``
+        set at launch) spans land in its trace shard; without one (the
+        ``__stats_arm__`` RPC on a dark node) a standalone registry
+        collects metrics for ``__stats__`` to report.
+        """
+        if self._obs is not None:
+            return
+        registry = proc.registry if proc is not None else MetricsRegistry()
+        self._obs = _ServerObs(registry, proc)
+        self.segments.journal.on_record = self._obs.journal_writes.add
+
+    def _fold_gate_verdicts(self) -> None:
+        if self.gate is not None:
+            for kind, count in self.gate.verdicts.items():
+                if count:
+                    self._chaos_verdicts[kind] = (
+                        self._chaos_verdicts.get(kind, 0) + count
+                    )
+
+    def _stats(self) -> dict:
+        """The ``__stats__`` control-RPC payload: health + metrics."""
+        verdicts = dict(self._chaos_verdicts)
+        if self.gate is not None:
+            for kind, count in self.gate.verdicts.items():
+                if count:
+                    verdicts[kind] = verdicts.get(kind, 0) + count
+        out = {
+            "node_id": self.node_id,
+            "role": f"mn{self.node_id}",
+            "pid": os.getpid(),
+            "uptime_s": time.time() - self.started_epoch,
+            "ops_served": self.ops_served,
+            "connections": len(self._conn_tasks),
+            "inflight_delayed": len(self._delayed),
+            "journal_entries": self.segments.journal.count,
+            "grants": sum(
+                len(pairs) for pairs in self.segments.grants.values()
+            ),
+            "chaos_armed": self.gate is not None,
+            "chaos_verdicts": verdicts,
+            "obs_armed": self._obs is not None,
+            "metrics": (
+                self._obs.registry.snapshot()
+                if self._obs is not None else None
+            ),
+        }
+        return out
 
     # -- RPC handlers (mirror Controller's registered operations) ---------
 
@@ -196,13 +295,30 @@ class NodeServer:
             return (0, tuple((nid, ACTIVE) for nid in self.membership))
         if op == "__chaos_load__":
             plan_dict, t0 = payload
-            gate = ChaosGate(FaultPlan.from_dict(plan_dict), self.node_id)
+            self._fold_gate_verdicts()
+            plan = FaultPlan.from_dict(plan_dict)
+            gate = ChaosGate(plan, self.node_id)
             gate.arm(t0)
             self.gate = gate
+            obs = self._obs
+            if obs is not None and obs.proc is not None:
+                # Overlay the armed windows on this node's trace shard so
+                # the merged view shows faults against served verbs.
+                obs_runtime.record_fault_windows(obs.proc, plan, gate.t0)
+                obs.proc.tracer.instant_at(
+                    "chaos.armed", "chaos", obs.proc.ts_from_epoch(gate.t0),
+                    tid=0,
+                )
             return t0
         if op == "__chaos_stop__":
+            self._fold_gate_verdicts()
             self.gate = None
             return None
+        if op == "__stats__":
+            return self._stats()
+        if op == "__stats_arm__":
+            self.arm_obs(obs_runtime.current())
+            return True
         raise KeyError(f"no RPC handler registered for {op!r}")
 
     # -- frame dispatch ----------------------------------------------------
@@ -277,9 +393,9 @@ class NodeServer:
         gate = self.gate
         if gate is None or op == wire.OP_SHUTDOWN:
             return None, 0.0
-        if op == wire.OP_RPC and wire.peek_rpc_name(body).startswith(
-            "__chaos"
-        ):
+        if op == wire.OP_RPC and wire.peek_rpc_name(body).startswith("__"):
+            # Control RPCs (chaos arm/disarm, __stats__ polling, debug
+            # handlers) must keep working while faults are injected.
             return None, 0.0
         return gate.verb_outcome(_VERB_BY_OP.get(op, "rpc"))
 
@@ -308,16 +424,30 @@ class NodeServer:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
         self._writers.add(writer)
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        # Trace lane for this connection, allocated on the first observed
+        # frame.  Frames on one connection are handled sequentially, so
+        # their spans nest properly within the lane; concurrent
+        # connections get distinct lanes.
+        lane: Optional[int] = None
         try:
             while True:
                 frame = await wire.read_frame(reader)
                 op, req_id = wire.REQ.unpack_from(frame)
                 body = frame[wire.REQ.size :]
                 self.ops_served += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.frame_bytes.record(len(frame))
                 kind, extra_us = self._gate_outcome(op, body)
                 if kind == DROP:
+                    if obs is not None:
+                        obs.verdict_drop.add()
                     continue  # swallowed before execution: client times out
                 if kind == DOWN:
+                    if obs is not None:
+                        obs.verdict_down.add()
                     break  # outage window: reset, client sees NodeUnavailable
                 if op == wire.OP_SHUTDOWN:
                     writer.write(wire.response_frame(req_id, wire.ST_OK))
@@ -325,11 +455,43 @@ class NodeServer:
                     self._stop.set()
                     break
                 if extra_us > 0.0:
+                    if obs is not None:
+                        obs.verdict_spike.add()
+                        if obs.proc is not None:
+                            if lane is None:
+                                lane = obs.proc.lane(f"conn-{conn_id}")
+                            # The delayed execution overlaps whatever runs
+                            # next on this connection: an instant, not a
+                            # span, keeps the lane properly nested.
+                            obs.proc.tracer.instant_at(
+                                f"{_VERB_BY_OP.get(op, 'rpc')}.delayed",
+                                "verb", obs.proc.now_us(), tid=lane,
+                                args={"extra_us": extra_us},
+                            )
                     self._spawn_delayed(
                         writer, op, req_id, bytes(body), extra_us / 1e6
                     )
                     continue
-                status, out = await self._execute(op, body)
+                if obs is None:
+                    status, out = await self._execute(op, body)
+                else:
+                    start_us = (
+                        obs.proc.now_us() if obs.proc is not None else 0.0
+                    )
+                    t0 = time.perf_counter()
+                    status, out = await self._execute(op, body)
+                    service_us = (time.perf_counter() - t0) * 1e6
+                    counter = obs.verb_count.get(op)
+                    if counter is not None:
+                        counter.add()
+                        obs.verb_us[op].record(service_us)
+                    if obs.proc is not None:
+                        if lane is None:
+                            lane = obs.proc.lane(f"conn-{conn_id}")
+                        obs.proc.tracer.complete(
+                            _VERB_BY_OP.get(op, "rpc"), "verb", start_us,
+                            tid=lane, args={"status": status},
+                        )
                 writer.write(wire.response_frame(req_id, status, out))
                 await writer.drain()
         except (wire.IncompleteReadError, ConnectionResetError, OSError):
@@ -387,7 +549,23 @@ class NodeServer:
             self._server.close()
             await self._server.wait_closed()
             await self._drain()
+            self._flush_obs()
             self.close()
+
+    def _flush_obs(self) -> None:
+        """Write the trace shard now, before the heap is unlinked.
+
+        The SIGTERM path sets ``_stop`` and tears down through ``run``'s
+        ``finally`` without ever raising through ``main`` — on some
+        interpreter/exit combinations atexit hooks are skipped, so the
+        shard is committed here where shutdown is already serialized.
+        """
+        proc = obs_runtime.current()
+        if proc is not None:
+            try:
+                proc.flush()
+            except OSError:
+                pass
 
     def _release_views(self) -> None:
         if self._jview is not None:
@@ -446,6 +624,9 @@ def main(argv=None) -> int:
         print(f"DITTO-NODE-ERROR node_id={args.node_id} {err}",
               file=sys.stderr, flush=True)
         return 1
+    proc = obs_runtime.init(f"mn{args.node_id}")
+    if proc is not None:
+        server.arm_obs(proc)
 
     def announce(line: str) -> None:
         print(line, flush=True)

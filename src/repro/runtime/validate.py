@@ -44,6 +44,7 @@ import numpy as np
 
 from ..bench.runner import READ, UPDATE, Feed, Harness, preload
 from ..bench.systems import build_ditto
+from ..obs import runtime as obs_runtime
 from ..sim.faults import FaultPlan
 from ..workloads import ZipfianGenerator
 from .harness import RealClusterHarness
@@ -110,8 +111,8 @@ def sim_throughput(
     return measured.throughput_mops
 
 
-def real_throughput(config: Dict, ops: int = 6000) -> float:
-    """Measured real-substrate throughput (ops/s) for one configuration."""
+def real_throughput(config: Dict, ops: int = 6000) -> Dict:
+    """One real-substrate run for one configuration; the load report."""
     harness = RealClusterHarness(
         capacity_objects=_CAPACITY,
         num_clients=_CLIENTS,
@@ -141,7 +142,7 @@ def real_throughput(config: Dict, ops: int = 6000) -> float:
             f"{report['failed_ops']} operations failed under config "
             f"{config['name']}; refusing to rank a degraded run"
         )
-    return report["ops_per_s"]
+    return report
 
 
 def sim_chaos(plan: FaultPlan, warm_us: float = 5_000.0,
@@ -263,13 +264,16 @@ def run_validation(
     say = progress if progress is not None else (lambda _msg: None)
     sim: Dict[str, float] = {}
     real: Dict[str, float] = {}
+    digests: Dict[str, Dict] = {}
     for config in configs:
         say(f"[sim ] {config['name']} ...")
         sim[config["name"]] = sim_throughput(config)
         say(f"[sim ] {config['name']}: {sim[config['name']]:.4f} Mops")
     for config in configs:
         say(f"[real] {config['name']} ...")
-        real[config["name"]] = real_throughput(config, ops=ops)
+        report = real_throughput(config, ops=ops)
+        real[config["name"]] = report["ops_per_s"]
+        digests[config["name"]] = obs_runtime.build_digest(report)
         say(f"[real] {config['name']}: {real[config['name']]:.0f} ops/s")
     sim_order = _ranking(sim)
     real_order = _ranking(real)
@@ -277,10 +281,33 @@ def run_validation(
         "configs": [dict(c) for c in configs],
         "sim_mops": sim,
         "real_ops_per_s": real,
+        "digests": digests,
         "sim_ordering": sim_order,
         "real_ordering": real_order,
         "orderings_agree": sim_order == real_order,
     }
+
+
+def _digest_path(override: str, default_name: str) -> str:
+    """Where the post-run digest JSON lands, "next to the verdict".
+
+    ``--digest PATH`` wins; with ``REPRO_TRACE`` armed the digest joins
+    the trace shards in the same directory; otherwise the cwd.
+    """
+    import os
+
+    if override:
+        return override
+    trace_dir = os.environ.get("REPRO_TRACE")
+    if trace_dir:
+        return os.path.join(trace_dir, default_name)
+    return default_name
+
+
+def _flush_obs() -> None:
+    proc = obs_runtime.current()
+    if proc is not None:
+        proc.flush()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -291,6 +318,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="real-substrate ops per configuration")
     parser.add_argument("--json", default="",
                         help="also write the comparison to this path")
+    parser.add_argument("--digest", default="",
+                        help="post-run metrics digest JSON path (default: "
+                             "<mode>-digest.json, or inside $REPRO_TRACE)")
     parser.add_argument("--chaos", action="store_true",
                         help="run the wall-clock chaos drill instead of "
                              "the throughput-ordering comparison")
@@ -305,30 +335,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--time-scale", type=float, default=None,
                         help="with --chaos: sim-µs → wall-µs multiplier")
     args = parser.parse_args(argv)
+    obs_runtime.init("launcher")
 
     if args.chaos:
         plan = None
         if args.chaos_plan:
             with open(args.chaos_plan, "r", encoding="utf-8") as fh:
                 plan = FaultPlan.from_dict(json.load(fh))
-        result = run_chaos_validation(
-            ops=args.ops if args.ops != 6000 else 5000,
-            clients=args.clients,
-            plan=plan,
-            time_scale=args.time_scale,
-            kill=args.kill,
-            progress=print,
-        )
+        try:
+            result = run_chaos_validation(
+                ops=args.ops if args.ops != 6000 else 5000,
+                clients=args.clients,
+                plan=plan,
+                time_scale=args.time_scale,
+                kill=args.kill,
+                progress=print,
+            )
+        finally:
+            _flush_obs()
         text = json.dumps(result, indent=2, sort_keys=True, default=str)
         print(text)
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
+        digest = result["real"].get(
+            "digest", obs_runtime.build_digest(result["real"])
+        )
+        print()
+        print(obs_runtime.format_digest(digest))
+        digest_path = _digest_path(args.digest, "chaos-digest.json")
+        obs_runtime.persist_digest(digest, digest_path)
+        print(f"digest written to {digest_path}")
         verdict = "CLEAN" if result["clean"] else "DIRTY"
         print(f"chaos drill {verdict}")
         return 0 if result["clean"] else 1
 
-    result = run_validation(ops=args.ops, progress=print)
+    try:
+        result = run_validation(ops=args.ops, progress=print)
+    finally:
+        _flush_obs()
     print()
     print(f"{'config':<10} {'sim Mops':>10} {'real ops/s':>12}")
     for config in result["configs"]:
@@ -336,6 +381,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{name:<10} {result['sim_mops'][name]:>10.4f} "
               f"{result['real_ops_per_s'][name]:>12.0f}")
     print()
+    for name, digest in result["digests"].items():
+        print(f"[{name}]")
+        print(obs_runtime.format_digest(digest))
+        print()
+    digest_path = _digest_path(args.digest, "validate-digest.json")
+    obs_runtime.persist_digest(result["digests"], digest_path)
+    print(f"digest written to {digest_path}")
     print(f"sim ordering : {' > '.join(result['sim_ordering'])}")
     print(f"real ordering: {' > '.join(result['real_ordering'])}")
     verdict = "AGREE" if result["orderings_agree"] else "DISAGREE"

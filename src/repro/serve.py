@@ -44,6 +44,7 @@ import sys
 import threading
 from typing import List, Optional
 
+from .obs import runtime as obs_runtime
 from .runtime.harness import RealClusterHarness
 from .runtime.loadgen import run_load
 
@@ -84,6 +85,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with --chaos-plan: SIGKILL node 1 mid-load "
                              "and restart-and-adopt it")
     args = parser.parse_args(argv)
+    obs_runtime.init("launcher")
 
     harness = RealClusterHarness(
         capacity_objects=args.capacity,
@@ -136,6 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 kill_node_id=1 if args.kill else None,
             ))
             print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+            digest = report.get("digest") or obs_runtime.build_digest(report)
+            print(obs_runtime.format_digest(digest), flush=True)
             if report["failed_ops"]:
                 exit_code = 1
         elif args.load:
@@ -151,6 +155,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 shm_reads=args.shm_reads,
             ))
             print(json.dumps(report, indent=2, sort_keys=True), flush=True)
+            print(obs_runtime.format_digest(obs_runtime.build_digest(report)),
+                  flush=True)
             if report["failed_ops"]:
                 exit_code = 1
         else:
@@ -163,6 +169,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted; shutting down cleanly", flush=True)
         exit_code = 130
     finally:
+        # Flush the launcher's own trace shard before tearing the cluster
+        # down: an interrupted run must not lose its observability export
+        # (the node servers flush theirs inside their drain paths).
+        proc = obs_runtime.current()
+        if proc is not None:
+            proc.flush()
         harness.shutdown()
     leak = harness.leak_report()
     harness.unlink_leaked()

@@ -124,3 +124,77 @@ class TestCli:
         lines = out.read_text().splitlines()
         assert "op.get;rdma.read 7" in lines
         assert "op.get" not in capsys.readouterr().out.splitlines()[0]
+
+    def test_trace_and_merge_are_mutually_exclusive(self, tmp_path):
+        path = self._write(tmp_path, NESTED_DOC)
+        with pytest.raises(SystemExit):
+            main([path, "--merge", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestMergeCli:
+    """``--merge DIR`` over wall-clock shards from repro.obs.runtime."""
+
+    def _populate(self, tmp_path):
+        from repro.obs.runtime import ProcessObs
+
+        launcher = ProcessObs(str(tmp_path), "launcher")
+        with launcher.span("load", "phase"):
+            pass
+        launcher.flush()
+        for node_id in range(2):
+            proc = ProcessObs(
+                str(tmp_path), f"mn{node_id}",
+                common_epoch_s=launcher.t0_epoch_s,
+            )
+            lane = proc.lane("conn-0")
+            start = proc.now_us()
+            proc.tracer.complete("read", "verb", start, tid=lane)
+            proc.flush()
+        return launcher
+
+    def test_merge_validate_and_output_file(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        rc = main(["--merge", str(tmp_path), "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "merged 3 shards" in out and "valid" in out
+        merged = json.loads((tmp_path / "merged.trace.json").read_text())
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert len(pids) == 3
+
+    def test_merge_skips_partial_shard(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        (tmp_path / "shard-mn9-999.json").write_text('{"traceEvents": [')
+        rc = main(["--merge", str(tmp_path), "--validate"])
+        assert rc == 0
+        assert "skipped unreadable shard" in capsys.readouterr().err
+
+    def test_merge_empty_dir_fails(self, tmp_path, capsys):
+        rc = main(["--merge", str(tmp_path)])
+        assert rc == 1
+        assert "no shard" in capsys.readouterr().err
+
+    def test_merge_out_override(self, tmp_path):
+        self._populate(tmp_path)
+        out = tmp_path / "elsewhere.json"
+        rc = main(["--merge", str(tmp_path), "--out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_per_node_flamegraphs(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        flames = tmp_path / "flames"
+        rc = main(["--merge", str(tmp_path),
+                   "--per-node-flamegraphs", str(flames)])
+        assert rc == 0
+        files = sorted(p.name for p in flames.iterdir())
+        assert len(files) == 3
+        assert any("launcher" in name for name in files)
+        assert any("mn0" in name for name in files)
+        # each file is valid collapsed-stack input
+        for name in files:
+            for line in (flames / name).read_text().splitlines():
+                stack, weight = line.rsplit(" ", 1)
+                assert stack and int(weight) >= 0

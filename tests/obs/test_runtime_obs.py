@@ -1,0 +1,371 @@
+"""Unit tests for the wall-clock observability layer (repro.obs.runtime).
+
+Covers the real-substrate failure shapes the merge must survive: shards
+whose origins disagree (cross-process clock offsets), empty directories,
+and the partial file a SIGKILL can leave outside the atomic-rename
+window.  All tests run in one process with fabricated shards — the
+multi-process path is exercised by tests/runtime/test_obs_runtime.py.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import render_prometheus
+from repro.obs.runtime import (
+    ProcessObs,
+    WallTracer,
+    build_digest,
+    format_digest,
+    load_shard,
+    merge_shards,
+    persist_digest,
+    record_fault_windows,
+)
+from repro.obs.trace import FAULT_TID_BASE, validate_trace
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs(monkeypatch):
+    """Each test starts disarmed with a clean environment."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_EPOCH", raising=False)
+    obs_runtime._reset()
+    yield
+    obs_runtime._reset()
+
+
+class TestWallTracer:
+    def test_complete_records_lane_and_nonnegative_dur(self):
+        tracer = WallTracer(label="t")
+        start = tracer.now_us()
+        tracer.complete("op", "cat", start, tid=3, args={"k": 1})
+        (event,) = [e for e in tracer.chrome_events() if e["ph"] == "X"]
+        assert event["tid"] == 3
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"k": 1}
+
+    def test_now_us_is_monotonic(self):
+        tracer = WallTracer()
+        a = tracer.now_us()
+        b = tracer.now_us()
+        assert b >= a
+
+    def test_future_start_clamps_to_zero_dur(self):
+        tracer = WallTracer()
+        tracer.complete("op", "cat", tracer.now_us() + 1e9)
+        (event,) = [e for e in tracer.chrome_events() if e["ph"] == "X"]
+        assert event["dur"] == 0.0
+
+
+class TestProcessObs:
+    def test_lanes_are_sequential_and_named_lane_memoized(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        a = proc.lane("conn-0")
+        b = proc.lane("conn-1")
+        assert b == a + 1
+        h1 = proc.lane_named("harness")
+        h2 = proc.lane_named("harness")
+        assert h1 == h2
+        assert proc.lane("conn-2") > h1
+
+    def test_span_context_manager_records(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        with proc.span("launch", "phase", tid=0, args={"nodes": 2}):
+            pass
+        spans = [e for e in proc.tracer.chrome_events() if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["launch"]
+
+    def test_flush_is_atomic_and_idempotent(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        with proc.span("a"):
+            pass
+        path = proc.flush()
+        first = json.load(open(path))
+        path2 = proc.flush()
+        assert path2 == path
+        assert json.load(open(path))["traceEvents"] == first["traceEvents"]
+        # no temp droppings from the atomic rename
+        assert all(
+            not name.endswith(f".tmp.{proc.pid}")
+            for name in os.listdir(tmp_path)
+        )
+
+    def test_shard_document_schema(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn1", common_epoch_s=123.0)
+        proc.registry.counter("verbs", verb="read").add(2)
+        doc = proc.shard_document()
+        assert doc["schema"] == obs_runtime.SHARD_SCHEMA
+        assert doc["role"] == "mn1"
+        assert doc["pid"] == os.getpid()
+        assert doc["common_epoch_s"] == 123.0
+        assert isinstance(doc["origin_epoch_s"], float)
+        assert doc["metrics"]["counters"][0]["value"] == 2
+
+    def test_role_is_sanitized_in_shard_path(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0/evil role")
+        assert "/" not in os.path.basename(proc.shard_path())
+        assert " " not in os.path.basename(proc.shard_path())
+
+    def test_bridge_counters_fold_at_flush(self, tmp_path):
+        class FakeCounters:
+            def as_dict(self):
+                return {"conn_resend": 4, "rdma_read": 9}
+
+        proc = ProcessObs(str(tmp_path), "launcher")
+        proc.bridge_counters(FakeCounters(), component="client")
+        doc = proc.shard_document()
+        rows = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+            for r in doc["metrics"]["counters"]
+        }
+        assert rows[("conn_resend", (("component", "client"),))] == 4
+        assert rows[("rdma_read", (("component", "client"),))] == 9
+
+
+class FakePlan:
+    def __init__(self, d):
+        self._d = d
+
+    def to_dict(self):
+        return self._d
+
+
+class TestFaultWindows:
+    def test_windows_land_on_dedicated_lanes(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        plan = FakePlan({
+            "seed": 7,
+            "drops": [{"node_id": 0, "start_us": 10.0, "end_us": 30.0}],
+            "outages": [{"node_id": 1, "start_us": 5.0, "end_us": 50.0}],
+            "spikes": [{"node_id": 0, "extra_us": 3.0}],  # no window
+        })
+        n = record_fault_windows(proc, plan, proc.t0_epoch_s)
+        assert n == 2
+        spans = [e for e in proc.tracer.chrome_events() if e["ph"] == "X"]
+        assert {s["name"] for s in spans} == {"fault.drop", "fault.outage"}
+        tids = {s["tid"] for s in spans}
+        assert len(tids) == 2 and all(t >= FAULT_TID_BASE for t in tids)
+
+
+class TestShardMerge:
+    def _shard(self, tmp_path, role, origin, common=None, events=(),
+               pid=100):
+        doc = {
+            "schema": 1, "role": role, "pid": pid,
+            "origin_epoch_s": origin, "common_epoch_s": common,
+            "clock": "wall-us", "traceEvents": list(events),
+            "dropped": 0, "metrics": {},
+        }
+        path = tmp_path / f"shard-{role}-{pid}.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_empty_directory(self, tmp_path):
+        doc, info = merge_shards(str(tmp_path))
+        assert doc["traceEvents"] == []
+        assert info["shards"] == [] and info["skipped"] == []
+
+    def test_partial_shard_is_skipped_not_fatal(self, tmp_path):
+        self._shard(tmp_path, "mn0", 100.0, events=[
+            {"ph": "X", "name": "a", "cat": "t", "ts": 0.0, "dur": 1.0,
+             "pid": 0, "tid": 0},
+        ])
+        (tmp_path / "shard-mn1-200.json").write_text('{"traceEvents": [')
+        doc, info = merge_shards(str(tmp_path))
+        assert len(info["shards"]) == 1
+        assert info["skipped"] == ["shard-mn1-200.json"]
+        assert validate_trace(doc) == []
+
+    def test_common_epoch_aligns_skewed_origins(self, tmp_path):
+        # Two processes started 2s apart; both know the launch epoch.
+        span = {"ph": "X", "name": "op", "cat": "t", "ts": 10.0,
+                "dur": 5.0, "pid": 0, "tid": 1}
+        self._shard(tmp_path, "launcher", 100.0, common=100.0,
+                    events=[span], pid=1)
+        self._shard(tmp_path, "mn0", 102.0, common=100.0,
+                    events=[span], pid=2)
+        doc, info = merge_shards(str(tmp_path))
+        by_pid = {e["pid"]: e for e in doc["traceEvents"]
+                  if e.get("ph") == "X"}
+        # launcher shard: offset 0; mn0 shard: +2s in µs
+        assert by_pid[0]["ts"] == pytest.approx(10.0)
+        assert by_pid[1]["ts"] == pytest.approx(10.0 + 2e6)
+        assert doc["otherData"]["epoch_origin_s"] == 100.0
+
+    def test_fallback_to_min_origin_without_common_epoch(self, tmp_path):
+        span = {"ph": "X", "name": "op", "cat": "t", "ts": 0.0,
+                "dur": 1.0, "pid": 0, "tid": 1}
+        self._shard(tmp_path, "mn0", 105.0, events=[span], pid=1)
+        self._shard(tmp_path, "mn1", 101.0, events=[span], pid=2)
+        doc, _info = merge_shards(str(tmp_path))
+        starts = sorted(
+            e["ts"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        )
+        assert starts[0] == pytest.approx(0.0)       # earliest shard
+        assert starts[1] == pytest.approx(4e6)       # +4s later start
+
+    def test_nonmonotonic_cross_process_timestamps_still_validate(
+        self, tmp_path
+    ):
+        # mn1 started first but its shard sorts later: events whose raw ts
+        # run "backwards" across shards must still merge into a trace the
+        # validator accepts (lanes are per-pid, so cross-pid order is free).
+        self._shard(tmp_path, "mn0", 200.0, events=[
+            {"ph": "X", "name": "late", "cat": "t", "ts": 0.0, "dur": 2.0,
+             "pid": 0, "tid": 1},
+        ], pid=1)
+        self._shard(tmp_path, "mn1", 100.0, events=[
+            {"ph": "X", "name": "early", "cat": "t", "ts": 50.0, "dur": 2.0,
+             "pid": 0, "tid": 1},
+        ], pid=2)
+        doc, _info = merge_shards(str(tmp_path))
+        assert validate_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert pids == {0, 1}
+
+    def test_merged_pids_are_deterministic(self, tmp_path):
+        self._shard(tmp_path, "mn1", 100.0, pid=9)
+        self._shard(tmp_path, "mn0", 100.0, pid=5)
+        self._shard(tmp_path, "launcher", 100.0, pid=7)
+        _doc, info = merge_shards(str(tmp_path))
+        assert [s["role"] for s in info["shards"]] == [
+            "launcher", "mn0", "mn1"
+        ]
+        assert [s["merged_pid"] for s in info["shards"]] == [0, 1, 2]
+
+    def test_process_names_carry_role_and_original_pid(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        with proc.span("a"):
+            pass
+        proc.flush()
+        doc, _info = merge_shards(str(tmp_path))
+        names = [
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        ]
+        assert any("mn0" in n and str(proc.pid) in n for n in names)
+
+    def test_load_shard_rejects_foreign_files(self, tmp_path):
+        good = self._shard(tmp_path, "mn0", 100.0)
+        assert load_shard(str(good)) is not None
+        bad = tmp_path / "shard-x-1.json"
+        for payload in ('{"trunc', "[1,2,3]", '{"traceEvents": {}}',
+                        '{"traceEvents": [], "origin_epoch_s": "nope"}'):
+            bad.write_text(payload)
+            assert load_shard(str(bad)) is None
+
+
+class TestDigest:
+    REPORT = {
+        "ops": 5000, "failed_ops": 3, "ops_per_s": 2400.0,
+        "get_p50_us": 80.0, "get_p99_us": 950.0,
+        "set_p50_us": 95.0, "set_p99_us": 1100.0,
+        "counters": {"conn_resend": 12, "breaker_trip": 1, "rdma_read": 99},
+        "chaos": {
+            "verdicts": {"ok": 4800, "drop": 120, "down": 60, "spike": 20},
+            "adopted_grants": 5, "repaired_slots": 2,
+            "sweep": {"clean": True}, "killed_at_s": 0.5,
+            "restarted_at_s": 0.9,
+        },
+    }
+
+    def test_build_digest_shapes(self):
+        digest = build_digest(self.REPORT)
+        assert digest["latency_us"]["get"] == {"p50": 80.0, "p99": 950.0}
+        assert digest["retries"]["conn_resend"] == 12
+        assert digest["retries"]["breaker_trip"] == 1
+        assert "rdma_read" not in digest["retries"]
+        assert digest["chaos"]["verdicts"]["drop"] == 120
+
+    def test_build_digest_without_chaos_section(self):
+        report = {k: v for k, v in self.REPORT.items() if k != "chaos"}
+        digest = build_digest(report)
+        assert "chaos" not in digest
+
+    def test_format_digest_readable(self):
+        text = format_digest(build_digest(self.REPORT))
+        assert "ops=5000" in text
+        assert "get  p50=80.0" in text
+        assert "conn_resend" in text and "rdma_read" not in text
+        assert "drop" in text
+
+    def test_persist_digest_round_trips(self, tmp_path):
+        path = str(tmp_path / "digest.json")
+        persist_digest(build_digest(self.REPORT), path)
+        assert json.load(open(path))["ops"] == 5000
+
+
+class TestPrometheus:
+    def test_render_counters_gauges_histograms(self, tmp_path):
+        proc = ProcessObs(str(tmp_path), "mn0")
+        proc.registry.counter("verbs", verb="read").add(7)
+        proc.registry.gauge("inflight").set(3)
+        hist = proc.registry.histogram("verb.service_us", verb="read")
+        for value in (10.0, 20.0, 30.0):
+            hist.record(value)
+        text = render_prometheus(
+            proc.registry.snapshot(), {"node": "mn0"}
+        )
+        assert "# TYPE verbs_total counter" in text
+        assert 'verbs_total{node="mn0",verb="read"} 7' in text
+        assert 'inflight{node="mn0"} 3' in text
+        assert 'verb_service_us{' in text and 'quantile="0.99"' in text
+        assert "verb_service_us_count" in text
+        assert "verb_service_us_sum" in text
+
+    def test_label_values_escaped(self):
+        snapshot = {
+            "counters": [
+                {"name": "c", "labels": {"k": 'a"b\\c'}, "value": 1}
+            ],
+            "gauges": [], "histograms": [],
+        }
+        text = render_prometheus(snapshot)
+        assert 'k="a\\"b\\\\c"' in text
+
+
+class TestRuntimeGating:
+    def test_disarmed_without_env(self):
+        assert obs_runtime.init() is None
+        assert obs_runtime.current() is None
+
+    def test_maybe_span_is_passthrough_when_disarmed(self):
+        with obs_runtime.maybe_span("x") as proc:
+            assert proc is None
+
+    def test_init_publishes_epoch_for_children(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        proc = obs_runtime.init("launcher")
+        assert proc is not None
+        assert proc.common_epoch_s == proc.t0_epoch_s
+        assert float(os.environ["REPRO_TRACE_EPOCH"]) == proc.t0_epoch_s
+        # idempotent: second init returns the same hub
+        assert obs_runtime.init("other") is proc
+
+    def test_child_inherits_common_epoch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_EPOCH", "123.5")
+        proc = obs_runtime.init("mn0")
+        assert proc.common_epoch_s == 123.5
+
+    def test_maybe_span_uses_named_lane(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        proc = obs_runtime.init("launcher")
+        with obs_runtime.maybe_span("harness.kill", lane="harness"):
+            pass
+        with obs_runtime.maybe_span("harness.restart", lane="harness"):
+            pass
+        spans = [e for e in proc.tracer.chrome_events() if e["ph"] == "X"]
+        assert len({s["tid"] for s in spans}) == 1
+        assert spans[0]["tid"] != 0
+
+    def test_event_budget_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE_EVENTS", "2")
+        proc = obs_runtime.init("mn0")
+        for i in range(5):
+            proc.tracer.complete(f"s{i}", "t", proc.now_us())
+        assert proc.tracer.dropped == 3
